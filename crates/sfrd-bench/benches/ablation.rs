@@ -1,0 +1,83 @@
+//! Ablations of SF-Order's design choices (DESIGN.md §3):
+//!
+//! * **reader policy** — the §3.5 bounded per-future leftmost/rightmost
+//!   readers vs the paper's shipped keep-all-readers history (§4 argues
+//!   the bound's bookkeeping outweighs its savings at their scale);
+//! * **gp/cp representation** — bitmaps (SF-Order) vs hash tables of op
+//!   nodes (F-Order), isolated via the `reach` configuration where the
+//!   access history is out of the picture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, ReaderPolicy};
+use sfrd_workloads::{make_bench, Scale};
+use std::hint::black_box;
+
+fn reader_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/reader_policy");
+    g.sample_size(10);
+    for (label, policy) in
+        [("all_readers", ReaderPolicy::All), ("per_future_lr", ReaderPolicy::PerFutureLR)]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let w = make_bench("sw", Scale::Small, 1);
+                let cfg = DriveConfig {
+                    policy,
+                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
+                };
+                black_box(drive(&w, cfg));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn gp_representation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/gp_representation");
+    g.sample_size(10);
+    // hw is future-heavy (one per frame×point): the construction cost of
+    // the per-create table copies is the differentiator.
+    for (label, kind) in
+        [("bitmaps_sforder", DetectorKind::SfOrder), ("hashtables_forder", DetectorKind::FOrder)]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let w = make_bench("hw", Scale::Small, 1);
+                black_box(drive(&w, DriveConfig::with(kind, Mode::Reach, 1)));
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The paper's future-work direction: per-strand access filtering to cut
+/// shadow-table lock volume (sfrd-core::fastpath).
+fn access_fast_path(c: &mut Criterion) {
+    use sfrd_core::{FastPath, SfDetector, Workload};
+    use sfrd_runtime::Runtime;
+    use std::sync::Arc;
+
+    let mut g = c.benchmark_group("ablation/access_fast_path");
+    g.sample_size(10);
+    g.bench_function("locked_every_access", |b| {
+        b.iter(|| {
+            let w = make_bench("sw", Scale::Small, 1);
+            black_box(drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)));
+        })
+    });
+    g.bench_function("per_strand_filter", |b| {
+        b.iter(|| {
+            let det = Arc::new(FastPath(SfDetector::new(Mode::Full, ReaderPolicy::All)));
+            let rt: Runtime<FastPath<SfDetector>> = Runtime::new(1);
+            let w = make_bench("sw", Scale::Small, 1);
+            rt.run(Arc::clone(&det), |ctx| w.run(ctx));
+            drop(rt);
+            assert!(w.verify_ok());
+            black_box(det.0.report().total_races)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(ablation, reader_policy, gp_representation, access_fast_path);
+criterion_main!(ablation);

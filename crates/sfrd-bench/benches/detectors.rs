@@ -1,0 +1,41 @@
+//! Whole-run detector benchmarks: each Fig. 4 cell as a Criterion
+//! measurement on small inputs (statistical backing for the fig4_times
+//! wall-clock table). One group per benchmark; one function per
+//! detector × config.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfrd_core::{drive, DetectorKind, DriveConfig, Mode};
+use sfrd_workloads::{make_bench, Scale};
+use std::hint::black_box;
+
+fn bench_workload(c: &mut Criterion, name: &'static str) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    let configs: Vec<(&str, DriveConfig)> = vec![
+        ("base", DriveConfig::base(1)),
+        ("multibags_reach", DriveConfig::with(DetectorKind::MultiBags, Mode::Reach, 1)),
+        ("multibags_full", DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)),
+        ("forder_reach", DriveConfig::with(DetectorKind::FOrder, Mode::Reach, 1)),
+        ("forder_full", DriveConfig::with(DetectorKind::FOrder, Mode::Full, 1)),
+        ("sforder_reach", DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1)),
+        ("sforder_full", DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)),
+    ];
+    for (label, cfg) in configs {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let w = make_bench(name, Scale::Small, 1);
+                black_box(drive(&w, cfg));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn detectors(c: &mut Criterion) {
+    for name in ["mm", "sort", "sw", "hw", "ferret"] {
+        bench_workload(c, name);
+    }
+}
+
+criterion_group!(benches, detectors);
+criterion_main!(benches);

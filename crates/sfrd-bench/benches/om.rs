@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the order-maintenance substrate: the per-construct
+//! cost floor of SF-Order's reachability maintenance (3 OM inserts per
+//! fork across two lists) and the per-query cost floor (2 label
+//! comparisons).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sfrd_om::OmList;
+use std::hint::black_box;
+
+fn bench_insert_append(c: &mut Criterion) {
+    c.bench_function("om/insert_append_1k", |b| {
+        b.iter_batched(
+            OmList::new,
+            |(list, base)| {
+                let mut cur = base;
+                for _ in 0..1000 {
+                    cur = list.insert_after(cur);
+                }
+                black_box(cur);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_insert_hotspot(c: &mut Criterion) {
+    c.bench_function("om/insert_after_head_1k", |b| {
+        b.iter_batched(
+            OmList::new,
+            |(list, base)| {
+                for _ in 0..1000 {
+                    black_box(list.insert_after(base));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (list, base) = OmList::new();
+    let mut handles = vec![base];
+    let mut cur = base;
+    for _ in 0..10_000 {
+        cur = list.insert_after(cur);
+        handles.push(cur);
+    }
+    c.bench_function("om/order_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % handles.len();
+            let j = (i * 31 + 1) % handles.len();
+            black_box(list.precedes(handles[i], handles[j]))
+        })
+    });
+}
+
+criterion_group!(om, bench_insert_append, bench_insert_hotspot, bench_query);
+criterion_main!(om);

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 3**: benchmark input sizes and execution
+//! characteristics — total reads, writes, reachability queries, futures
+//! used, and computation-dag nodes.
+//!
+//! Counters come from a full SF-Order run on one worker (counters are
+//! schedule-invariant; the workload suite asserts detectors agree).
+
+use sfrd_bench::{run_bench, sci, HarnessArgs, Table};
+use sfrd_core::{DetectorKind, DriveConfig, Mode};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Figure 3: benchmark execution characteristics (scale: {:?})", args.scale);
+    let mut t =
+        Table::new(&["bench", "input", "# reads", "# writes", "# queries", "# futures", "# nodes"]);
+    for name in &args.benches {
+        let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1);
+        let (out, w) = run_bench(name, args.scale, cfg);
+        let rep = out.report.expect("detector attached");
+        let c = rep.counts;
+        t.row(vec![
+            name.clone(),
+            w.input_desc(),
+            sci(c.reads),
+            sci(c.writes),
+            sci(c.queries),
+            c.futures.to_string(),
+            c.nodes().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}

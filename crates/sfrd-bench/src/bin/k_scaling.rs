@@ -1,0 +1,65 @@
+//! Probe the `O(k²)` reachability-construction term (Lemma 3.12).
+//!
+//! Both SF-Order and F-Order pay O(k) per create to extend ancestor
+//! metadata — O(k²) total — but with very different constants: SF-Order
+//! copies `k/64`-word bitmaps, F-Order clones hash tables. This sweep
+//! holds per-future work constant and scales `k` (a chain of k futures,
+//! each gotten by its creator — the worst case for `cp`/`gp` growth is a
+//! chain of *gets*, which accumulates every prior future into `gp`).
+//!
+//! Output: reach-only wall time and bytes for both detectors as `k` grows.
+//! Expected shape: both grow superlinearly in k; F-Order's curve sits a
+//! constant factor above SF-Order's (the Fig. 4/5 gap, isolated).
+//!
+//! ```sh
+//! cargo run -p sfrd-bench --release --bin k_scaling -- [kmax]
+//! ```
+
+use std::time::Instant;
+
+use sfrd_bench::Table;
+use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, Workload};
+use sfrd_runtime::Cx;
+
+/// A chain of `k` futures, each gotten right after creation — maximizes
+/// `gp` accumulation (every future's id flows into all later strands).
+struct FutureChain {
+    k: usize,
+}
+
+impl Workload for FutureChain {
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+        for i in 0..self.k {
+            let h = ctx.create(move |c| {
+                c.record_write(i as u64 * 8);
+            });
+            ctx.get(h);
+        }
+    }
+}
+
+fn main() {
+    let kmax: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8192);
+    println!("# k-scaling of reachability construction (reach config, 1 worker)");
+    let mut t = Table::new(&["k", "SF-Order (ms)", "F-Order (ms)", "SF bytes", "F bytes"]);
+    let mut k = 512;
+    while k <= kmax {
+        let mut row = vec![k.to_string()];
+        let mut bytes = Vec::new();
+        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder] {
+            let w = FutureChain { k };
+            let t0 = Instant::now();
+            let out = drive(&w, DriveConfig::with(kind, Mode::Reach, 1));
+            let _ = t0;
+            let rep = out.report.unwrap();
+            assert_eq!(rep.counts.futures as usize, k);
+            row.push(format!("{:.2}", out.wall.as_secs_f64() * 1e3));
+            bytes.push(rep.reach_bytes);
+        }
+        row.push(bytes[0].to_string());
+        row.push(bytes[1].to_string());
+        t.row(row);
+        k *= 2;
+    }
+    print!("{}", t.render());
+}

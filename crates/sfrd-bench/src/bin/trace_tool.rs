@@ -1,0 +1,97 @@
+//! Record and analyze execution traces offline.
+//!
+//! ```sh
+//! # Record a benchmark's execution (dag + access log) to a trace file:
+//! cargo run -p sfrd-bench --release --bin trace_tool -- record sw /tmp/sw.trace --scale small
+//!
+//! # Analyze a trace: structure validation, dag stats, exact race set:
+//! cargo run -p sfrd-bench --release --bin trace_tool -- analyze /tmp/sw.trace
+//! ```
+//!
+//! Offline analysis uses the brute-force oracle, so it is exact but
+//! quadratic per location — meant for small/medium traces and debugging,
+//! not for the full-scale benchmarks.
+
+use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
+
+use sfrd_core::{RecordingHooks, Workload};
+use sfrd_dag::{read_trace, write_trace};
+use sfrd_runtime::run_sequential;
+use sfrd_workloads::{make_bench, Scale, BENCH_NAMES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tool record <bench> <file> [--scale small|medium|paper]\n  \
+         trace_tool analyze <file>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let path = args.get(2).unwrap_or_else(|| usage());
+            if !BENCH_NAMES.contains(&name.as_str()) {
+                eprintln!("unknown bench {name:?}");
+                usage();
+            }
+            let scale = match args.get(4).map(String::as_str) {
+                Some("medium") => Scale::Medium,
+                Some("paper") => Scale::Paper,
+                _ => Scale::Small,
+            };
+            let hooks = RecordingHooks::new();
+            let w = make_bench(name, scale, 0xBE7C);
+            run_sequential(&hooks, |ctx| w.run(ctx));
+            assert!(w.verify_ok(), "workload failed verification while recording");
+            let recorded = RecordingHooks::finish(Arc::new(hooks));
+            let file = std::fs::File::create(path).expect("create trace file");
+            write_trace(&recorded, BufWriter::new(file)).expect("write trace");
+            println!(
+                "recorded {name} ({:?}): {} nodes, {} futures, {} accesses -> {path}",
+                scale,
+                recorded.dag.node_count(),
+                recorded.dag.future_count(),
+                recorded.log.len()
+            );
+        }
+        Some("analyze") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let file = std::fs::File::open(path).expect("open trace file");
+            let recorded = read_trace(BufReader::new(file)).expect("parse trace");
+            let (work, span) = recorded.dag.work_span();
+            println!(
+                "trace: {} nodes, {} futures, {} edges, {} accesses",
+                recorded.dag.node_count(),
+                recorded.dag.future_count(),
+                recorded.dag.edge_count(),
+                recorded.log.len()
+            );
+            println!("work = {work}, span = {span}, parallelism = {:.2}", work as f64 / span.max(1) as f64);
+            match recorded.validate() {
+                Ok(()) => println!("structured-future restrictions: OK"),
+                Err(e) => println!("STRUCTURE VIOLATION: {e}"),
+            }
+            let races = recorded.races();
+            if races.is_empty() {
+                println!("races: none");
+            } else {
+                println!("races: {} pairs on {} locations", races.len(), {
+                    let addrs: std::collections::BTreeSet<u64> =
+                        races.iter().map(|r| r.addr).collect();
+                    addrs.len()
+                });
+                for r in races.iter().take(10) {
+                    println!("  addr {:#x}: {} || {}", r.addr, r.a, r.b);
+                }
+                if races.len() > 10 {
+                    println!("  ... ({} more)", races.len() - 10);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

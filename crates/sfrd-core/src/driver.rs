@@ -1,0 +1,259 @@
+//! One-call execution of a workload under a chosen detector/runtime
+//! configuration — the rows and columns of Fig. 4.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sfrd_runtime::{run_sequential, Cx, NullHooks, Runtime};
+use sfrd_shadow::ReaderPolicy;
+
+use crate::detectors::{FoDetector, MbDetector, Mode, SfDetector};
+use crate::report::RaceReport;
+use crate::wsp::WspDetector;
+
+/// A program under test: one generic body that runs on any runtime with
+/// any detector (mirroring the paper, where each benchmark is compiled
+/// once per detector).
+pub trait Workload: Sync {
+    /// Execute the workload. Shared state lives in `self` (borrowed for
+    /// the whole scope); verification happens after the run.
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C);
+}
+
+/// Which detector to attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// No detector (the `base` rows).
+    None,
+    /// SF-Order (this paper).
+    SfOrder,
+    /// F-Order (general-futures baseline).
+    FOrder,
+    /// MultiBags (sequential baseline).
+    MultiBags,
+    /// WSP-Order (fork-join-only; panics on futures).
+    WspOrder,
+}
+
+/// A full execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveConfig {
+    /// Detector choice.
+    pub detector: DetectorKind,
+    /// `reach` or `full` (ignored for [`DetectorKind::None`]).
+    pub mode: Mode,
+    /// Worker count for parallel execution.
+    pub workers: usize,
+    /// Serial left-to-right depth-first execution (required by MultiBags).
+    pub sequential: bool,
+    /// Reader policy for SF-Order's access history.
+    pub policy: ReaderPolicy,
+}
+
+impl DriveConfig {
+    /// Uninstrumented parallel baseline.
+    pub fn base(workers: usize) -> Self {
+        Self {
+            detector: DetectorKind::None,
+            mode: Mode::Full,
+            workers,
+            sequential: false,
+            policy: ReaderPolicy::All,
+        }
+    }
+
+    /// A detector in the given mode on `workers` workers. MultiBags is
+    /// automatically forced onto the sequential runtime.
+    pub fn with(detector: DetectorKind, mode: Mode, workers: usize) -> Self {
+        Self {
+            detector,
+            mode,
+            workers,
+            sequential: matches!(detector, DetectorKind::MultiBags),
+            policy: ReaderPolicy::All,
+        }
+    }
+}
+
+/// What a drive produced.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Wall-clock time of the execution (pool construction excluded).
+    pub wall: Duration,
+    /// Detector report (None for the base configuration).
+    pub report: Option<RaceReport>,
+}
+
+/// Run `w` once under `cfg`.
+pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
+    use crate::detectors::ReachOnly;
+
+    /// Time one execution of `w` under hooks `det` on the configured runtime.
+    fn timed<H: sfrd_runtime::TaskHooks, W: Workload>(
+        w: &W,
+        det: Arc<H>,
+        cfg: &DriveConfig,
+    ) -> Duration {
+        if cfg.sequential {
+            let t0 = Instant::now();
+            run_sequential(&*det, |ctx| w.run(ctx));
+            t0.elapsed()
+        } else {
+            let rt: Runtime<H> = Runtime::new(cfg.workers);
+            let t0 = Instant::now();
+            rt.run(det, |ctx| w.run(ctx));
+            t0.elapsed()
+        }
+    }
+
+    macro_rules! detector_arm {
+        ($make:expr) => {{
+            match cfg.mode {
+                Mode::Full => {
+                    let det = Arc::new($make(Mode::Full));
+                    let wall = timed(w, Arc::clone(&det), &cfg);
+                    Outcome { wall, report: Some(det.report()) }
+                }
+                // The reach configuration is a separate "build": the
+                // ReachOnly wrapper deletes the access path at
+                // monomorphization time, like the paper's uninstrumented
+                // reach binaries.
+                Mode::Reach => {
+                    let det = Arc::new(ReachOnly($make(Mode::Reach)));
+                    let wall = timed(w, Arc::clone(&det), &cfg);
+                    Outcome { wall, report: Some(det.0.report()) }
+                }
+            }
+        }};
+    }
+
+    match cfg.detector {
+        DetectorKind::None => {
+            let wall = timed(w, Arc::new(NullHooks), &cfg);
+            Outcome { wall, report: None }
+        }
+        DetectorKind::SfOrder => detector_arm!(|m| SfDetector::new(m, cfg.policy)),
+        DetectorKind::FOrder => detector_arm!(FoDetector::new),
+        DetectorKind::WspOrder => detector_arm!(|m| WspDetector::new(m, cfg.policy)),
+        DetectorKind::MultiBags => {
+            assert!(
+                cfg.sequential,
+                "MultiBags requires the sequential runtime (its SP-bags invariant \
+                 only holds for the serial depth-first execution)"
+            );
+            detector_arm!(MbDetector::new)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::ShadowArray;
+
+    /// Race-free: parallel writers to disjoint halves, then a reduction.
+    struct Disjoint {
+        data: ShadowArray<u64>,
+    }
+
+    impl Workload for Disjoint {
+        fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+            let n = self.data.len();
+            let h = ctx.create(move |c| {
+                for i in 0..n / 2 {
+                    self.data.write(c, i, i as u64);
+                }
+                0u64
+            });
+            for i in n / 2..n {
+                self.data.write(ctx, i, i as u64);
+            }
+            let _ = ctx.get(h);
+            let mut sum = 0;
+            for i in 0..n {
+                sum += self.data.read(ctx, i);
+            }
+            assert_eq!(sum, (0..n as u64).sum());
+        }
+    }
+
+    /// Racy: the future and the continuation write the same slot.
+    struct Racy {
+        data: ShadowArray<u64>,
+    }
+
+    impl Workload for Racy {
+        fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+            let h = ctx.create(move |c| {
+                self.data.write(c, 0, 1);
+            });
+            self.data.write(ctx, 0, 2);
+            ctx.get(h);
+        }
+    }
+
+    fn all_full_configs() -> Vec<DriveConfig> {
+        vec![
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1),
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2),
+            DriveConfig {
+                policy: sfrd_shadow::ReaderPolicy::PerFutureLR,
+                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
+            },
+            DriveConfig::with(DetectorKind::FOrder, Mode::Full, 1),
+            DriveConfig::with(DetectorKind::FOrder, Mode::Full, 2),
+            DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1),
+        ]
+    }
+
+    #[test]
+    fn race_free_workload_reports_nothing() {
+        let w = Disjoint { data: ShadowArray::new(64) };
+        for cfg in all_full_configs() {
+            let out = drive(&w, cfg);
+            let rep = out.report.unwrap();
+            assert_eq!(rep.total_races, 0, "config {cfg:?}");
+            assert!(rep.counts.reads > 0 && rep.counts.writes > 0);
+        }
+    }
+
+    #[test]
+    fn racy_workload_always_detected() {
+        for cfg in all_full_configs() {
+            let w = Racy { data: ShadowArray::new(1) };
+            let out = drive(&w, cfg);
+            let rep = out.report.unwrap();
+            assert!(rep.total_races > 0, "config {cfg:?} missed the race");
+            assert_eq!(rep.racy_addrs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn reach_mode_skips_access_work() {
+        let w = Racy { data: ShadowArray::new(1) };
+        let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 2));
+        let rep = out.report.unwrap();
+        assert_eq!(rep.total_races, 0, "reach mode performs no access checks");
+        assert_eq!(rep.counts.reads + rep.counts.writes, 0);
+        assert_eq!(rep.counts.futures, 1);
+        assert_eq!(rep.history_bytes, 0);
+    }
+
+    #[test]
+    fn base_config_runs_without_report() {
+        let w = Disjoint { data: ShadowArray::new(32) };
+        let out = drive(&w, DriveConfig::base(2));
+        assert!(out.report.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential runtime")]
+    fn multibags_rejects_parallel() {
+        let w = Racy { data: ShadowArray::new(1) };
+        let cfg = DriveConfig {
+            sequential: false,
+            ..DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 2)
+        };
+        drive(&w, cfg);
+    }
+}

@@ -1,0 +1,216 @@
+//! Access-history synchronization reduction — the paper's stated future
+//! work (§6: "whether one can reduce the synchronization overhead by
+//! redesigning the access history").
+//!
+//! §4 measures that the dominant `full`-configuration cost is the *volume*
+//! of per-access lock acquisitions on the shadow table. [`FastPath`] wraps
+//! any detector with a per-strand, direct-mapped filter over recently
+//! accessed addresses: a repeat access *by the same strand* to the same
+//! location with the same (or weaker) access kind cannot change the access
+//! history or produce a new race, so the wrapped hook — and its lock — is
+//! skipped entirely.
+//!
+//! Soundness hinges on one invariant: a cache entry is only valid while
+//! the strand's dag position is unchanged. Every parallel construct
+//! (spawn/create/sync/get/task boundaries) therefore clears the filter.
+//! Within a strand, a skipped read is literally a repeat of a recorded
+//! read at the same position; a skipped write is a repeat of the recorded
+//! write that already owns the location's write epoch.
+//!
+//! The ablation bench (`benches/ablation.rs`) measures the effect; the
+//! oracle integration tests verify verdicts are unchanged.
+
+use sfrd_runtime::TaskHooks;
+
+/// Filter size (direct-mapped, power of two).
+const WAYS: usize = 256;
+
+/// Per-strand access filter.
+pub struct AccessFilter {
+    /// `(addr + 1, wrote)` per slot; key 0 = empty (addresses are offset by
+    /// one so address 0 is representable).
+    slots: Box<[(u64, bool); WAYS]>,
+}
+
+impl AccessFilter {
+    fn new() -> Self {
+        Self { slots: Box::new([(0, false); WAYS]) }
+    }
+
+    #[inline]
+    fn slot(addr: u64) -> usize {
+        // Mix, then mask: shadow addresses share high bits.
+        (addr.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as usize & (WAYS - 1)
+    }
+
+    /// Would a read of `addr` be redundant? Records it if not.
+    #[inline]
+    fn admit_read(&mut self, addr: u64) -> bool {
+        let key = addr.wrapping_add(1);
+        let s = &mut self.slots[Self::slot(addr)];
+        if s.0 == key {
+            return false; // previously read or written here at this position
+        }
+        *s = (key, false);
+        true
+    }
+
+    /// Would a write of `addr` be redundant? Records/upgrades if not.
+    #[inline]
+    fn admit_write(&mut self, addr: u64) -> bool {
+        let key = addr.wrapping_add(1);
+        let s = &mut self.slots[Self::slot(addr)];
+        if s.0 == key && s.1 {
+            return false; // already wrote here at this position
+        }
+        *s = (key, true);
+        true
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.slots.fill((0, false));
+    }
+}
+
+/// Strand of a [`FastPath`]-wrapped detector.
+pub struct FpStrand<S> {
+    inner: S,
+    filter: AccessFilter,
+}
+
+impl<S> FpStrand<S> {
+    /// The wrapped detector's strand.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+/// Wrap any detector with the per-strand access filter.
+pub struct FastPath<H>(pub H);
+
+impl<H: TaskHooks> TaskHooks for FastPath<H> {
+    type Strand = FpStrand<H::Strand>;
+
+    fn root(&self) -> Self::Strand {
+        FpStrand { inner: self.0.root(), filter: AccessFilter::new() }
+    }
+
+    fn on_spawn(&self, p: &mut Self::Strand) -> Self::Strand {
+        p.filter.clear(); // position changes at the fork
+        FpStrand { inner: self.0.on_spawn(&mut p.inner), filter: AccessFilter::new() }
+    }
+
+    fn on_create(&self, p: &mut Self::Strand) -> Self::Strand {
+        p.filter.clear();
+        FpStrand { inner: self.0.on_create(&mut p.inner), filter: AccessFilter::new() }
+    }
+
+    fn on_sync(&self, s: &mut Self::Strand, children: Vec<Self::Strand>) {
+        s.filter.clear();
+        self.0.on_sync(&mut s.inner, children.into_iter().map(|c| c.inner).collect());
+    }
+
+    fn on_get(&self, s: &mut Self::Strand, done: &Self::Strand) {
+        s.filter.clear();
+        self.0.on_get(&mut s.inner, &done.inner);
+    }
+
+    fn on_task_end(&self, s: &mut Self::Strand) {
+        s.filter.clear();
+        self.0.on_task_end(&mut s.inner);
+    }
+
+    fn on_task_return(&self, p: &mut Self::Strand, c: &mut Self::Strand) {
+        p.filter.clear();
+        self.0.on_task_return(&mut p.inner, &mut c.inner);
+    }
+
+    #[inline]
+    fn on_read(&self, s: &mut Self::Strand, addr: u64) {
+        if s.filter.admit_read(addr) {
+            self.0.on_read(&mut s.inner, addr);
+        }
+    }
+
+    #[inline]
+    fn on_write(&self, s: &mut Self::Strand, addr: u64) {
+        if s.filter.admit_write(addr) {
+            self.0.on_write(&mut s.inner, addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::{Mode, SfDetector};
+    use crate::recording::GenWorkload;
+    use crate::Workload;
+    use rand::prelude::*;
+    use sfrd_dag::generator::{GenParams, GenProgram};
+    use sfrd_runtime::{Cx, Runtime};
+    use sfrd_shadow::ReaderPolicy;
+    use std::sync::Arc;
+
+    #[test]
+    fn filter_dedupes_and_upgrades() {
+        let mut f = AccessFilter::new();
+        assert!(f.admit_read(8));
+        assert!(!f.admit_read(8));
+        assert!(f.admit_write(8), "write after read is not redundant");
+        assert!(!f.admit_write(8));
+        assert!(!f.admit_read(8), "read after write is covered");
+        f.clear();
+        assert!(f.admit_read(8));
+    }
+
+    #[test]
+    fn verdicts_unchanged_on_random_programs() {
+        let mut rng = StdRng::seed_from_u64(0xFA);
+        for _ in 0..20 {
+            let prog = GenProgram::random(
+                &mut rng,
+                &GenParams { addr_space: 4, ..Default::default() },
+            );
+            let plain = Arc::new(SfDetector::new(Mode::Full, ReaderPolicy::All));
+            let rt: Runtime<SfDetector> = Runtime::new(2);
+            let w = GenWorkload(prog.clone());
+            rt.run(Arc::clone(&plain), |ctx| w.run(ctx));
+            drop(rt);
+
+            let fast = Arc::new(FastPath(SfDetector::new(Mode::Full, ReaderPolicy::All)));
+            let rt: Runtime<FastPath<SfDetector>> = Runtime::new(2);
+            let w2 = GenWorkload(prog.clone());
+            rt.run(Arc::clone(&fast), |ctx| w2.run(ctx));
+            drop(rt);
+
+            assert_eq!(
+                plain.report().racy_addrs,
+                fast.0.report().racy_addrs,
+                "fast path must not change detection verdicts\n{prog:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_actually_cuts_lock_volume() {
+        // A strand reading one cell in a loop: one lock instead of n.
+        struct HotLoop;
+        impl Workload for HotLoop {
+            fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+                for _ in 0..1000 {
+                    ctx.record_read(64);
+                }
+                ctx.record_write(64);
+            }
+        }
+        let fast = Arc::new(FastPath(SfDetector::new(Mode::Full, ReaderPolicy::All)));
+        let rt: Runtime<FastPath<SfDetector>> = Runtime::new(1);
+        rt.run(Arc::clone(&fast), |ctx| HotLoop.run(ctx));
+        drop(rt);
+        let counts = fast.0.report().counts;
+        assert_eq!(counts.reads, 1, "999 repeat reads filtered");
+        assert_eq!(counts.writes, 1);
+    }
+}

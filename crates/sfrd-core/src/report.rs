@@ -1,0 +1,178 @@
+//! Race reports and execution counters.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the two conflicting accesses were ordered in this execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RaceKind {
+    /// Earlier write, later read.
+    WriteRead,
+    /// Earlier read, later write.
+    ReadWrite,
+    /// Two writes.
+    WriteWrite,
+}
+
+/// One reported determinacy race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Race {
+    /// Address the strands collided on.
+    pub addr: u64,
+    /// Conflict shape.
+    pub kind: RaceKind,
+}
+
+/// Thread-safe race sink. Detectors report every race they find; the
+/// collector deduplicates per `(addr, kind)` and keeps a bounded sample
+/// (real races repeat millions of times on array workloads).
+#[derive(Debug, Default)]
+pub struct RaceCollector {
+    total: AtomicU64,
+    distinct: Mutex<BTreeSet<Race>>,
+}
+
+impl RaceCollector {
+    /// Record one detected race.
+    pub fn report(&self, addr: u64, kind: RaceKind) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut d = self.distinct.lock();
+        if d.len() < 65_536 {
+            d.insert(Race { addr, kind });
+        }
+    }
+
+    /// Total race observations (with repetition).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Distinct `(addr, kind)` races (bounded sample).
+    pub fn distinct(&self) -> BTreeSet<Race> {
+        self.distinct.lock().clone()
+    }
+
+    /// Distinct racy addresses.
+    pub fn racy_addrs(&self) -> BTreeSet<u64> {
+        self.distinct.lock().iter().map(|r| r.addr).collect()
+    }
+
+    /// True when no race was observed.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+/// Execution characteristic counters — the columns of Fig. 3.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Instrumented reads.
+    pub reads: AtomicU64,
+    /// Instrumented writes.
+    pub writes: AtomicU64,
+    /// Reachability queries issued by access checks.
+    pub queries: AtomicU64,
+    /// `spawn` events.
+    pub spawns: AtomicU64,
+    /// `create` events (= futures used, `k`).
+    pub creates: AtomicU64,
+    /// `sync` events.
+    pub syncs: AtomicU64,
+    /// `get` events.
+    pub gets: AtomicU64,
+}
+
+/// Plain snapshot of [`Counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountsSnapshot {
+    /// Instrumented reads.
+    pub reads: u64,
+    /// Instrumented writes.
+    pub writes: u64,
+    /// Reachability queries issued by access checks.
+    pub queries: u64,
+    /// `spawn` events.
+    pub spawns: u64,
+    /// Futures used (`k`).
+    pub futures: u64,
+    /// `sync` events.
+    pub syncs: u64,
+    /// `get` events.
+    pub gets: u64,
+}
+
+impl Counters {
+    #[inline]
+    pub(crate) fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> CountsSnapshot {
+        CountsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            spawns: self.spawns.load(Ordering::Relaxed),
+            futures: self.creates.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CountsSnapshot {
+    /// Dag-node estimate: every spawn/create adds a child-first and a
+    /// continuation node; syncs and gets add one node each; plus the root.
+    pub fn nodes(&self) -> u64 {
+        1 + 2 * (self.spawns + self.futures) + self.syncs + self.gets
+    }
+}
+
+/// Everything a detector run produces.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Total race observations.
+    pub total_races: u64,
+    /// Distinct `(addr, kind)` sample.
+    pub races: Vec<Race>,
+    /// Distinct racy addresses.
+    pub racy_addrs: BTreeSet<u64>,
+    /// Execution characteristics.
+    pub counts: CountsSnapshot,
+    /// Reachability-structure heap bytes (Fig. 5).
+    pub reach_bytes: usize,
+    /// Access-history heap bytes.
+    pub history_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_dedups() {
+        let c = RaceCollector::default();
+        for _ in 0..100 {
+            c.report(8, RaceKind::WriteWrite);
+        }
+        c.report(8, RaceKind::ReadWrite);
+        c.report(16, RaceKind::WriteRead);
+        assert_eq!(c.total(), 102);
+        assert_eq!(c.distinct().len(), 3);
+        assert_eq!(c.racy_addrs().into_iter().collect::<Vec<_>>(), vec![8, 16]);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn node_estimate() {
+        let s = CountsSnapshot { spawns: 2, futures: 1, syncs: 1, gets: 1, ..Default::default() };
+        assert_eq!(s.nodes(), 1 + 6 + 1 + 1);
+    }
+}

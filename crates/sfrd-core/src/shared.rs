@@ -1,0 +1,219 @@
+//! Instrumented shared data.
+//!
+//! Rust has no compiler pass to auto-instrument loads and stores, so
+//! programs under test route shared accesses through these wrappers, which
+//! (a) perform the access and (b) report it to the detector via
+//! [`Cx::record_read`]/[`Cx::record_write`] — exactly what the paper's
+//! compiler instrumentation emits around each shared access.
+//!
+//! Storage uses [`AtomicCell`], so programs that *do* contain determinacy
+//! races (the thing a race-detector test suite must execute!) are still
+//! data-race-free at the Rust/LLVM level: the nondeterminism stays at the
+//! value level, the UB stays away.
+
+use crossbeam_utils::atomic::AtomicCell;
+use sfrd_runtime::Cx;
+
+/// A shared, instrumented 1-D array.
+pub struct ShadowArray<T> {
+    cells: Box<[AtomicCell<T>]>,
+}
+
+impl<T: Copy + Default> ShadowArray<T> {
+    /// Array of `len` default values.
+    pub fn new(len: usize) -> Self {
+        Self::from_fn(len, |_| T::default())
+    }
+}
+
+impl<T: Copy> ShadowArray<T> {
+    /// Array initialized by index.
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> T) -> Self {
+        let mut f = f;
+        Self { cells: (0..len).map(|i| AtomicCell::new(f(i))).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Shadow address of element `i` (its actual memory address).
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        &self.cells[i] as *const _ as u64
+    }
+
+    /// Instrumented read.
+    #[inline]
+    pub fn read<'s, C: Cx<'s>>(&self, ctx: &mut C, i: usize) -> T {
+        let v = self.cells[i].load();
+        ctx.record_read(self.addr(i));
+        v
+    }
+
+    /// Instrumented write.
+    #[inline]
+    pub fn write<'s, C: Cx<'s>>(&self, ctx: &mut C, i: usize, v: T) {
+        self.cells[i].store(v);
+        ctx.record_write(self.addr(i));
+    }
+
+    /// Uninstrumented read (initialization / verification only).
+    #[inline]
+    pub fn load(&self, i: usize) -> T {
+        self.cells[i].load()
+    }
+
+    /// Uninstrumented write (initialization / verification only).
+    #[inline]
+    pub fn store(&self, i: usize, v: T) {
+        self.cells[i].store(v);
+    }
+
+    /// Copy out the contents (verification).
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.load(i)).collect()
+    }
+}
+
+/// A shared, instrumented scalar.
+///
+/// The cell is boxed so its shadow address stays stable even if the
+/// containing struct is moved after construction.
+pub struct ShadowCell<T> {
+    cell: Box<AtomicCell<T>>,
+}
+
+impl<T: Copy> ShadowCell<T> {
+    /// New cell.
+    pub fn new(v: T) -> Self {
+        Self { cell: Box::new(AtomicCell::new(v)) }
+    }
+
+    /// Shadow address.
+    #[inline]
+    pub fn addr(&self) -> u64 {
+        &*self.cell as *const _ as u64
+    }
+
+    /// Instrumented read.
+    #[inline]
+    pub fn read<'s, C: Cx<'s>>(&self, ctx: &mut C) -> T {
+        let v = self.cell.load();
+        ctx.record_read(self.addr());
+        v
+    }
+
+    /// Instrumented write.
+    #[inline]
+    pub fn write<'s, C: Cx<'s>>(&self, ctx: &mut C, v: T) {
+        self.cell.store(v);
+        ctx.record_write(self.addr());
+    }
+
+    /// Uninstrumented read.
+    pub fn load(&self) -> T {
+        self.cell.load()
+    }
+}
+
+/// A shared, instrumented row-major matrix.
+pub struct ShadowMatrix<T> {
+    data: ShadowArray<T>,
+    cols: usize,
+}
+
+impl<T: Copy + Default> ShadowMatrix<T> {
+    /// `rows × cols` matrix of defaults.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { data: ShadowArray::new(rows * cols), cols }
+    }
+}
+
+impl<T: Copy> ShadowMatrix<T> {
+    /// Matrix initialized by `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        Self { data: ShadowArray::from_fn(rows * cols, |i| f(i / cols, i % cols)), cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.cols
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Instrumented read of `(r, c)`.
+    #[inline]
+    pub fn read<'s, C: Cx<'s>>(&self, ctx: &mut C, r: usize, c: usize) -> T {
+        self.data.read(ctx, r * self.cols + c)
+    }
+
+    /// Instrumented write of `(r, c)`.
+    #[inline]
+    pub fn write<'s, C: Cx<'s>>(&self, ctx: &mut C, r: usize, c: usize, v: T) {
+        self.data.write(ctx, r * self.cols + c, v)
+    }
+
+    /// Uninstrumented read.
+    #[inline]
+    pub fn load(&self, r: usize, c: usize) -> T {
+        self.data.load(r * self.cols + c)
+    }
+
+    /// Uninstrumented write.
+    #[inline]
+    pub fn store(&self, r: usize, c: usize, v: T) {
+        self.data.store(r * self.cols + c, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfrd_runtime::{run_sequential, NullHooks};
+
+    #[test]
+    fn array_roundtrip_and_addresses() {
+        let a: ShadowArray<u64> = ShadowArray::from_fn(8, |i| i as u64);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.load(3), 3);
+        assert_ne!(a.addr(0), a.addr(1));
+        run_sequential(&NullHooks, |ctx| {
+            a.write(ctx, 3, 99);
+            assert_eq!(a.read(ctx, 3), 99);
+        });
+        assert_eq!(a.to_vec()[3], 99);
+    }
+
+    #[test]
+    fn matrix_indexing() {
+        let m: ShadowMatrix<i32> = ShadowMatrix::from_fn(3, 4, |r, c| (r * 10 + c) as i32);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.load(2, 3), 23);
+        run_sequential(&NullHooks, |ctx| {
+            m.write(ctx, 1, 2, -5);
+            assert_eq!(m.read(ctx, 1, 2), -5);
+        });
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = ShadowCell::new(7u32);
+        run_sequential(&NullHooks, |ctx| {
+            assert_eq!(c.read(ctx), 7);
+            c.write(ctx, 9);
+        });
+        assert_eq!(c.load(), 9);
+    }
+}

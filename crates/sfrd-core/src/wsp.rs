@@ -1,0 +1,223 @@
+//! **WSP-Order** — the fork-join-only detector of §2, as a fourth
+//! pluggable detector.
+//!
+//! For programs using only `spawn`/`sync`, the computation dag *is* a
+//! series-parallel dag, the pseudo-SP-dag equals the real dag, and the two
+//! order-maintenance total orders answer every reachability query exactly
+//! — no `cp`/`gp` needed at all. This detector is the
+//! asymptotically-optimal `O(T1/P + T∞)` baseline (Utterback et al.,
+//! SPAA '16) and serves as the ablation point for "what does structured-
+//! futures support cost SF-Order": identical machinery minus the future
+//! bookkeeping.
+//!
+//! Using futures under this detector is a programming error and panics.
+
+use parking_lot::Mutex;
+
+use sfrd_reach::{SpOrder, SpPos, SpTask};
+use sfrd_runtime::TaskHooks;
+use sfrd_shadow::{AccessHistory, ReaderPolicy};
+
+use crate::detectors::Mode;
+use crate::report::{Counters, RaceCollector, RaceKind, RaceReport};
+
+/// Per-task WSP-Order state.
+pub struct WspStrand {
+    sp: SpTask,
+}
+
+/// The fork-join-only detector.
+pub struct WspDetector {
+    sp: SpOrder,
+    root: Mutex<Option<SpTask>>,
+    history: Option<AccessHistory<SpPos>>,
+    /// Detected races.
+    pub collector: RaceCollector,
+    /// Execution counters.
+    pub counters: Counters,
+}
+
+impl WspDetector {
+    /// Build a one-shot detector. The classic WSP-Order access history is
+    /// the leftmost/rightmost pair — [`ReaderPolicy::PerFutureLR`] with a
+    /// single "future" (the whole SP-dag) degenerates to exactly that.
+    pub fn new(mode: Mode, policy: ReaderPolicy) -> Self {
+        let (sp, root) = SpOrder::new();
+        Self {
+            sp,
+            root: Mutex::new(Some(root)),
+            history: matches!(mode, Mode::Full).then(|| AccessHistory::with_policy(policy)),
+            collector: RaceCollector::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The report after (or during) a run.
+    pub fn report(&self) -> RaceReport {
+        RaceReport {
+            total_races: self.collector.total(),
+            races: self.collector.distinct().into_iter().collect(),
+            racy_addrs: self.collector.racy_addrs(),
+            counts: self.counters.snapshot(),
+            reach_bytes: self.sp.heap_bytes(),
+            history_bytes: self.history.as_ref().map_or(0, |h| h.heap_bytes()),
+        }
+    }
+}
+
+impl TaskHooks for WspDetector {
+    type Strand = WspStrand;
+
+    fn root(&self) -> WspStrand {
+        WspStrand { sp: self.root.lock().take().expect("WspDetector is one-shot") }
+    }
+
+    fn on_spawn(&self, parent: &mut WspStrand) -> WspStrand {
+        Counters::bump(&self.counters.spawns);
+        WspStrand { sp: self.sp.fork(&mut parent.sp) }
+    }
+
+    fn on_create(&self, _parent: &mut WspStrand) -> WspStrand {
+        panic!(
+            "WSP-Order handles fork-join parallelism only; this program uses futures — \
+             run it under SF-Order instead"
+        );
+    }
+
+    fn on_sync(&self, s: &mut WspStrand, _children: Vec<WspStrand>) {
+        Counters::bump(&self.counters.syncs);
+        self.sp.sync(&mut s.sp);
+    }
+
+    fn on_get(&self, _s: &mut WspStrand, _done: &WspStrand) {
+        unreachable!("no create, hence no get");
+    }
+
+    fn on_task_end(&self, s: &mut WspStrand) {
+        self.sp.sync(&mut s.sp);
+    }
+
+    #[inline]
+    fn on_read(&self, s: &mut WspStrand, addr: u64) {
+        let Some(history) = &self.history else { return };
+        Counters::bump(&self.counters.reads);
+        let pos = s.sp.pos();
+        history.locked(addr, |e| {
+            if let Some(w) = e.writer {
+                if w != pos {
+                    Counters::bump(&self.counters.queries);
+                    if !self.sp.precedes_eq(w, pos) {
+                        self.collector.report(addr, RaceKind::WriteRead);
+                    }
+                }
+            }
+            e.readers.record(
+                0, // the whole SP-dag is one "future"
+                pos,
+                |a, b| self.sp.eng_precedes(*a, *b),
+                |a, b| self.sp.heb_precedes(*a, *b),
+                |a, b| self.sp.precedes_eq(*a, *b),
+            );
+        });
+    }
+
+    #[inline]
+    fn on_write(&self, s: &mut WspStrand, addr: u64) {
+        let Some(history) = &self.history else { return };
+        Counters::bump(&self.counters.writes);
+        let pos = s.sp.pos();
+        history.locked(addr, |e| {
+            if let Some(w) = e.writer {
+                if w != pos {
+                    Counters::bump(&self.counters.queries);
+                    if !self.sp.precedes_eq(w, pos) {
+                        self.collector.report(addr, RaceKind::WriteWrite);
+                    }
+                }
+            }
+            let mut reader_queries = 0;
+            e.readers.for_each(|r| {
+                if r == pos {
+                    return;
+                }
+                reader_queries += 1;
+                if !self.sp.precedes_eq(r, pos) {
+                    self.collector.report(addr, RaceKind::ReadWrite);
+                }
+            });
+            Counters::add(&self.counters.queries, reader_queries);
+            e.begin_write_epoch(pos);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfrd_runtime::{Cx, Runtime};
+    use std::sync::Arc;
+
+    fn run_wsp<F>(workers: usize, policy: ReaderPolicy, f: F) -> RaceReport
+    where
+        F: for<'e> FnOnce(&mut sfrd_runtime::ParCtx<'e, WspDetector>) + Send,
+    {
+        let det = Arc::new(WspDetector::new(Mode::Full, policy));
+        let rt: Runtime<WspDetector> = Runtime::new(workers);
+        rt.run(Arc::clone(&det), f);
+        drop(rt);
+        det.report()
+    }
+
+    #[test]
+    fn detects_fork_join_race() {
+        for policy in [ReaderPolicy::All, ReaderPolicy::PerFutureLR] {
+            let rep = run_wsp(2, policy, |ctx| {
+                ctx.spawn(|c| c.record_write(64));
+                ctx.record_write(64);
+                ctx.sync();
+            });
+            assert!(rep.total_races > 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn synced_accesses_are_clean() {
+        let rep = run_wsp(2, ReaderPolicy::PerFutureLR, |ctx| {
+            ctx.spawn(|c| c.record_write(64));
+            ctx.sync();
+            ctx.record_write(64);
+            ctx.spawn(|c| c.record_read(64));
+            ctx.spawn(|c| c.record_read(64));
+            ctx.sync();
+            ctx.record_write(64);
+        });
+        assert_eq!(rep.total_races, 0);
+        assert_eq!(rep.counts.spawns, 3);
+    }
+
+    #[test]
+    fn lr_reader_pair_still_catches_middle_reader_races() {
+        // Three parallel readers; a later parallel writer must race with
+        // them even though only the leftmost/rightmost pair is retained.
+        let rep = run_wsp(2, ReaderPolicy::PerFutureLR, |ctx| {
+            for _ in 0..3 {
+                ctx.spawn(|c| c.record_read(8));
+            }
+            // A fourth parallel branch writes.
+            ctx.spawn(|c| c.record_write(8));
+            ctx.sync();
+        });
+        assert!(rep.total_races > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fork-join parallelism only")]
+    fn futures_are_rejected() {
+        let det = Arc::new(WspDetector::new(Mode::Full, ReaderPolicy::All));
+        let rt: Runtime<WspDetector> = Runtime::new(1);
+        rt.run(Arc::clone(&det), |ctx| {
+            let h = ctx.create(|_| 1u8);
+            ctx.get(h);
+        });
+    }
+}

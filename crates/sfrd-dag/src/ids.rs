@@ -1,0 +1,55 @@
+//! Identifier newtypes shared across the whole workspace.
+
+/// A node (strand) of the computation dag: a maximal instruction sequence
+/// with no parallel control construct inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A future task. The root ("main") task is future 0; every `create` mints
+/// a fresh id. Future ids are dense, which is what lets SF-Order represent
+/// `cp`/`gp` sets as bitmaps with one bit per future.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FutureId(pub u32);
+
+impl FutureId {
+    /// The root task's future id.
+    pub const ROOT: FutureId = FutureId(0);
+
+    /// The future's dense index (its bit position in `cp`/`gp` bitmaps).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for FutureId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(FutureId(7).to_string(), "F7");
+        assert_eq!(FutureId::ROOT.index(), 0);
+    }
+}

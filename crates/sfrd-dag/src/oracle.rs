@@ -1,0 +1,207 @@
+//! Exact offline reachability and race oracles.
+//!
+//! These are the ground truth the on-the-fly detectors are validated
+//! against in property tests: an all-pairs transitive closure over the
+//! recorded dag (bitset rows, O(V·E/64) to build, O(1) to query), and a
+//! brute-force determinacy-race oracle over a recorded access log.
+
+use crate::graph::{Dag, EdgeKind};
+use crate::ids::NodeId;
+
+/// All-pairs reachability over a dag, restricted to an edge-kind filter.
+pub struct ReachOracle {
+    n: usize,
+    words: usize,
+    /// Row `v` = bitset of nodes u with `u ; v` (u strictly reaches v).
+    reached_by: Vec<u64>,
+}
+
+impl ReachOracle {
+    /// Build the closure over edges whose kind passes `filter`.
+    pub fn build(dag: &Dag, filter: impl Fn(EdgeKind) -> bool) -> Self {
+        let n = dag.node_count();
+        let words = n.div_ceil(64);
+        let mut reached_by = vec![0u64; n * words];
+        for &u in &dag.topo_order() {
+            // OR u's row into each successor's row, plus the bit for u
+            // itself. Topological order guarantees u's row is final by the
+            // time we propagate it.
+            let ui = u.index();
+            for &(v, kind) in dag.succs(u) {
+                if !filter(kind) {
+                    continue;
+                }
+                let vi = v.index();
+                for w in 0..words {
+                    let bits = reached_by[ui * words + w];
+                    reached_by[vi * words + w] |= bits;
+                }
+                reached_by[vi * words + ui / 64] |= 1u64 << (ui % 64);
+            }
+        }
+        Self { n, words, reached_by }
+    }
+
+    /// True iff there is a non-empty path `u ; v`.
+    #[inline]
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        let (ui, vi) = (u.index(), v.index());
+        assert!(ui < self.n && vi < self.n);
+        self.reached_by[vi * self.words + ui / 64] >> (ui % 64) & 1 == 1
+    }
+
+    /// `u ⪯ v`: reflexive reachability.
+    #[inline]
+    pub fn precedes_eq(&self, u: NodeId, v: NodeId) -> bool {
+        u == v || self.reaches(u, v)
+    }
+
+    /// Logical parallelism: neither reaches the other.
+    #[inline]
+    pub fn parallel(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && !self.reaches(u, v) && !self.reaches(v, u)
+    }
+}
+
+/// One entry of a recorded access log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The strand performing the access.
+    pub node: NodeId,
+    /// Which memory location (opaque address).
+    pub addr: u64,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+}
+
+/// A determinacy race found by the oracle: two conflicting accesses on
+/// logically parallel strands. Node pairs are stored with `a <= b` so race
+/// sets can be compared across detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RacePair {
+    /// Location the two strands collided on.
+    pub addr: u64,
+    /// Lower-numbered strand.
+    pub a: NodeId,
+    /// Higher-numbered strand.
+    pub b: NodeId,
+}
+
+impl RacePair {
+    /// Normalized constructor (sorts the node pair).
+    pub fn new(addr: u64, x: NodeId, y: NodeId) -> Self {
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        Self { addr, a, b }
+    }
+}
+
+/// Brute-force race oracle: every pair of conflicting accesses to the same
+/// address on parallel strands. Quadratic per address — test-sized logs only.
+pub fn race_oracle(dag: &Dag, log: &[Access]) -> std::collections::BTreeSet<RacePair> {
+    let oracle = ReachOracle::build(dag, |k| k != EdgeKind::PspJoin);
+    let mut by_addr: std::collections::BTreeMap<u64, Vec<&Access>> = Default::default();
+    for a in log {
+        by_addr.entry(a.addr).or_default().push(a);
+    }
+    let mut races = std::collections::BTreeSet::new();
+    for (addr, accesses) in by_addr {
+        for (i, x) in accesses.iter().enumerate() {
+            for y in &accesses[i + 1..] {
+                if !(x.is_write || y.is_write) || x.node == y.node {
+                    continue;
+                }
+                if oracle.parallel(x.node, y.node) {
+                    races.insert(RacePair::new(addr, x.node, y.node));
+                }
+            }
+        }
+    }
+    races
+}
+
+/// The set of *racy addresses* (weaker equivalence used to compare
+/// detectors, which may report different witness pairs for the same race).
+pub fn racy_addrs(dag: &Dag, log: &[Access]) -> std::collections::BTreeSet<u64> {
+    race_oracle(dag, log).into_iter().map(|r| r.addr).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Dag, NodeKind};
+    use crate::ids::FutureId;
+
+    fn diamond() -> (Dag, [NodeId; 4]) {
+        let mut d = Dag::new();
+        let u = d.add_node(FutureId::ROOT, NodeKind::First);
+        d.add_future(u, None, None);
+        let a = d.add_node(FutureId::ROOT, NodeKind::First);
+        let b = d.add_node(FutureId::ROOT, NodeKind::Continuation);
+        let s = d.add_node(FutureId::ROOT, NodeKind::Sync);
+        d.add_edge(u, a, EdgeKind::SpawnChild);
+        d.add_edge(u, b, EdgeKind::Continue);
+        d.add_edge(a, s, EdgeKind::SyncJoin);
+        d.add_edge(b, s, EdgeKind::Continue);
+        (d, [u, a, b, s])
+    }
+
+    #[test]
+    fn closure_matches_diamond() {
+        let (d, [u, a, b, s]) = diamond();
+        let o = ReachOracle::build(&d, |_| true);
+        assert!(o.reaches(u, a) && o.reaches(u, b) && o.reaches(u, s));
+        assert!(o.reaches(a, s) && o.reaches(b, s));
+        assert!(o.parallel(a, b));
+        assert!(!o.reaches(s, u));
+        assert!(o.precedes_eq(a, a));
+        assert!(!o.reaches(a, a));
+    }
+
+    #[test]
+    fn filter_excludes_edges() {
+        let (d, [u, a, _, s]) = diamond();
+        let o = ReachOracle::build(&d, |k| k != EdgeKind::SpawnChild);
+        assert!(!o.reaches(u, a));
+        assert!(o.reaches(a, s)); // SyncJoin kept
+    }
+
+    #[test]
+    fn race_oracle_finds_parallel_write() {
+        let (d, [u, a, b, s]) = diamond();
+        let log = vec![
+            Access { node: u, addr: 1, is_write: true },
+            Access { node: a, addr: 1, is_write: true },
+            Access { node: b, addr: 1, is_write: false },
+            Access { node: s, addr: 1, is_write: true },
+            Access { node: a, addr: 2, is_write: false },
+            Access { node: b, addr: 2, is_write: false },
+        ];
+        let races = race_oracle(&d, &log);
+        // Only a/b conflict in parallel on addr 1; addr 2 is read/read.
+        assert_eq!(races.len(), 1);
+        assert!(races.contains(&RacePair::new(1, a, b)));
+        assert_eq!(racy_addrs(&d, &log).into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn closure_on_random_chains() {
+        // A long chain: everything reaches everything after it.
+        let mut d = Dag::new();
+        let mut prev = d.add_node(FutureId::ROOT, NodeKind::First);
+        d.add_future(prev, None, None);
+        let mut nodes = vec![prev];
+        for _ in 0..200 {
+            let n = d.add_node(FutureId::ROOT, NodeKind::Continuation);
+            d.add_edge(prev, n, EdgeKind::Continue);
+            nodes.push(n);
+            prev = n;
+        }
+        let o = ReachOracle::build(&d, |_| true);
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                assert!(o.reaches(nodes[i], nodes[j]));
+                assert!(!o.reaches(nodes[j], nodes[i]));
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Trace files: persist a recorded execution for offline analysis.
+//!
+//! A [`RecordedProgram`] (dag + PSP joins + access log) round-trips
+//! through a self-describing line-based text format, so race analysis can
+//! run long after (and on a different machine than) the instrumented
+//! execution — the moral equivalent of a "rr for determinacy races".
+//! The `trace_tool` binary in `sfrd-bench` records benchmark runs and
+//! re-analyzes saved traces.
+//!
+//! Format (`sfrdtrace v1`): one record per line, space-separated:
+//!
+//! ```text
+//! sfrdtrace v1
+//! node <future> <kind> <weight>          # implicit ids 0..n-1
+//! future <first> <last|-> <creator|-> <parent|->
+//! edge <from> <to> <kind>
+//! psp <future> <join-node>
+//! access <node> <addr-hex> <r|w>
+//! end
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::graph::{Dag, EdgeKind, NodeKind};
+use crate::ids::{FutureId, NodeId};
+use crate::oracle::Access;
+use crate::recorder::RecordedProgram;
+
+/// Errors while reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem, with a line number and message.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Parse(line, msg) => write!(f, "trace parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn kind_tag(k: NodeKind) -> &'static str {
+    match k {
+        NodeKind::First => "first",
+        NodeKind::Continuation => "cont",
+        NodeKind::Sync => "sync",
+        NodeKind::Get => "get",
+    }
+}
+
+fn parse_kind(s: &str) -> Option<NodeKind> {
+    Some(match s {
+        "first" => NodeKind::First,
+        "cont" => NodeKind::Continuation,
+        "sync" => NodeKind::Sync,
+        "get" => NodeKind::Get,
+        _ => return None,
+    })
+}
+
+fn edge_tag(k: EdgeKind) -> &'static str {
+    match k {
+        EdgeKind::Continue => "cont",
+        EdgeKind::SpawnChild => "spawn",
+        EdgeKind::SyncJoin => "join",
+        EdgeKind::CreateChild => "create",
+        EdgeKind::GetReturn => "get",
+        EdgeKind::PspJoin => "psp",
+    }
+}
+
+fn parse_edge(s: &str) -> Option<EdgeKind> {
+    Some(match s {
+        "cont" => EdgeKind::Continue,
+        "spawn" => EdgeKind::SpawnChild,
+        "join" => EdgeKind::SyncJoin,
+        "create" => EdgeKind::CreateChild,
+        "get" => EdgeKind::GetReturn,
+        "psp" => EdgeKind::PspJoin,
+        _ => return None,
+    })
+}
+
+/// Serialize a recorded program.
+pub fn write_trace(prog: &RecordedProgram, mut out: impl Write) -> std::io::Result<()> {
+    writeln!(out, "sfrdtrace v1")?;
+    for n in prog.dag.node_ids() {
+        let info = prog.dag.node(n);
+        writeln!(out, "node {} {} {}", info.future.0, kind_tag(info.kind), info.weight)?;
+    }
+    let opt = |x: Option<u32>| x.map_or_else(|| "-".to_string(), |v| v.to_string());
+    for f in prog.dag.future_ids() {
+        let info = prog.dag.future(f);
+        writeln!(
+            out,
+            "future {} {} {} {}",
+            info.first.0,
+            opt(info.last.map(|n| n.0)),
+            opt(info.created_by.map(|n| n.0)),
+            opt(info.parent.map(|p| p.0)),
+        )?;
+    }
+    for n in prog.dag.node_ids() {
+        for &(m, k) in prog.dag.succs(n) {
+            writeln!(out, "edge {} {} {}", n.0, m.0, edge_tag(k))?;
+        }
+    }
+    for &(f, j) in &prog.psp_joins {
+        writeln!(out, "psp {} {}", f.0, j.0)?;
+    }
+    for a in &prog.log {
+        writeln!(out, "access {} {:x} {}", a.node.0, a.addr, if a.is_write { "w" } else { "r" })?;
+    }
+    writeln!(out, "end")?;
+    Ok(())
+}
+
+/// Deserialize a recorded program.
+pub fn read_trace(input: impl BufRead) -> Result<RecordedProgram, TraceError> {
+    let mut dag = Dag::new();
+    let mut psp_joins = Vec::new();
+    let mut log = Vec::new();
+    let mut saw_header = false;
+    let mut saw_end = false;
+    let mut futures: Vec<(NodeId, Option<NodeId>, Option<NodeId>, Option<FutureId>)> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| TraceError::Parse(lineno, msg.to_string());
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().unwrap();
+        if !saw_header {
+            if tag == "sfrdtrace" && parts.next() == Some("v1") {
+                saw_header = true;
+                continue;
+            }
+            return Err(err("missing 'sfrdtrace v1' header"));
+        }
+        let mut num = |what: &str| -> Result<u32, TraceError> {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| TraceError::Parse(lineno, format!("bad {what}")))
+        };
+        match tag {
+            "node" => {
+                let future = FutureId(num("future id")?);
+                let kind = parts
+                    .next()
+                    .and_then(parse_kind)
+                    .ok_or_else(|| err("bad node kind"))?;
+                let weight: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad weight"))?;
+                let id = dag.add_node(future, kind);
+                dag.add_weight(id, weight.saturating_sub(1));
+            }
+            "future" => {
+                let first = NodeId(num("first node")?);
+                let mut opt_num = |what: &str| -> Result<Option<u32>, TraceError> {
+                    match parts.next() {
+                        Some("-") => Ok(None),
+                        Some(s) => s
+                            .parse()
+                            .map(Some)
+                            .map_err(|_| TraceError::Parse(lineno, format!("bad {what}"))),
+                        None => Err(TraceError::Parse(lineno, format!("missing {what}"))),
+                    }
+                };
+                let last = opt_num("last")?.map(NodeId);
+                let creator = opt_num("creator")?.map(NodeId);
+                let parent = opt_num("parent")?.map(FutureId);
+                futures.push((first, last, creator, parent));
+            }
+            "edge" => {
+                let from = NodeId(num("from")?);
+                let to = NodeId(num("to")?);
+                let kind = parts
+                    .next()
+                    .and_then(parse_edge)
+                    .ok_or_else(|| err("bad edge kind"))?;
+                if from.index() >= dag.node_count() || to.index() >= dag.node_count() {
+                    return Err(err("edge endpoint out of range"));
+                }
+                dag.add_edge(from, to, kind);
+            }
+            "psp" => {
+                let f = FutureId(num("future")?);
+                let j = NodeId(num("join node")?);
+                psp_joins.push((f, j));
+            }
+            "access" => {
+                let node = NodeId(num("node")?);
+                let addr = parts
+                    .next()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| err("bad addr"))?;
+                let is_write = match parts.next() {
+                    Some("w") => true,
+                    Some("r") => false,
+                    _ => return Err(err("bad access kind")),
+                };
+                if node.index() >= dag.node_count() {
+                    return Err(err("access node out of range"));
+                }
+                log.push(Access { node, addr, is_write });
+            }
+            "end" => {
+                saw_end = true;
+                break;
+            }
+            other => return Err(TraceError::Parse(lineno, format!("unknown record {other:?}"))),
+        }
+    }
+    if !saw_end {
+        return Err(TraceError::Parse(0, "truncated trace (no 'end' record)".into()));
+    }
+    for (first, last, creator, parent) in futures {
+        let f = dag.add_future(first, creator, parent);
+        if let Some(l) = last {
+            dag.set_future_last(f, l);
+        }
+    }
+    Ok(RecordedProgram { dag, psp_joins, log })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{replay, GenParams, GenProgram};
+    use crate::recorder::Recorder;
+    use rand::prelude::*;
+
+    fn roundtrip(prog: &RecordedProgram) -> RecordedProgram {
+        let mut buf = Vec::new();
+        write_trace(prog, &mut buf).unwrap();
+        read_trace(std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let gen = GenProgram::random(&mut rng, &GenParams::default());
+            let (rec, mut root) = Recorder::new();
+            replay(&gen, &mut (&rec), &mut root);
+            let prog = rec.finish();
+            let back = roundtrip(&prog);
+            assert_eq!(back.dag.node_count(), prog.dag.node_count());
+            assert_eq!(back.dag.edge_count(), prog.dag.edge_count());
+            assert_eq!(back.dag.future_count(), prog.dag.future_count());
+            assert_eq!(back.psp_joins, prog.psp_joins);
+            assert_eq!(back.log, prog.log);
+            assert_eq!(back.races(), prog.races(), "race analysis must survive the roundtrip");
+            assert_eq!(back.validate().is_ok(), prog.validate().is_ok());
+            for n in prog.dag.node_ids() {
+                assert_eq!(back.dag.node(n).future, prog.dag.node(n).future);
+                assert_eq!(back.dag.node(n).weight, prog.dag.node(n).weight);
+                assert_eq!(back.dag.succs(n), prog.dag.succs(n));
+            }
+            assert_eq!(back.dag.work_span(), prog.dag.work_span());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_trace(std::io::Cursor::new(b"not a trace\n".to_vec())).is_err());
+        assert!(read_trace(std::io::Cursor::new(b"sfrdtrace v1\n".to_vec())).is_err()); // no end
+        assert!(read_trace(std::io::Cursor::new(
+            b"sfrdtrace v1\nnode 0 bogus 1\nend\n".to_vec()
+        ))
+        .is_err());
+        assert!(read_trace(std::io::Cursor::new(
+            b"sfrdtrace v1\nedge 5 6 cont\nend\n".to_vec()
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn empty_program_roundtrips() {
+        let (rec, mut root) = Recorder::new();
+        rec.task_end(&mut root);
+        let prog = rec.finish();
+        let back = roundtrip(&prog);
+        assert_eq!(back.dag.node_count(), 1);
+        assert!(back.races().is_empty());
+    }
+}

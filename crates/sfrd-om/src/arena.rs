@@ -1,0 +1,259 @@
+//! Append-only chunked arena with lock-free reads.
+//!
+//! The order-maintenance list needs its item and group slots to be readable
+//! by query threads while an insert (holding the list mutex) appends new
+//! slots. A plain `Vec` cannot do this: growth reallocates and invalidates
+//! concurrent readers. This arena never moves elements: it allocates
+//! geometrically growing buckets and publishes them with release stores, so
+//! an index handed out by `push` stays valid for the arena's lifetime.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Number of buckets in the spine. Bucket `i` holds `BASE << i` elements,
+/// so 32 buckets with BASE = 64 cover ~2^38 elements — far beyond any dag
+/// we will ever record.
+const SPINE: usize = 32;
+/// Capacity of bucket 0.
+const BASE: usize = 64;
+
+/// Append-only arena: single writer (enforced by the caller's lock),
+/// many concurrent readers.
+pub struct AppendArena<T> {
+    spine: [AtomicPtr<T>; SPINE],
+    len: AtomicUsize,
+}
+
+/// Map a global index to (bucket, offset within bucket).
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    // Buckets have sizes BASE, 2*BASE, 4*BASE, ...; prefix sums are
+    // BASE*(2^k - 1). Shifting by BASE turns this into pure bit math.
+    let adjusted = index + BASE;
+    let bucket = (usize::BITS - 1 - adjusted.leading_zeros()) as usize - BASE.trailing_zeros() as usize;
+    let offset = adjusted - (BASE << bucket);
+    (bucket, offset)
+}
+
+#[inline]
+fn bucket_capacity(bucket: usize) -> usize {
+    BASE << bucket
+}
+
+impl<T> AppendArena<T> {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self {
+            spine: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of initialized elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no element has been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read an element. Panics if `index >= len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> &T {
+        assert!(index < self.len(), "arena index {index} out of bounds");
+        // SAFETY: index < len implies the bucket was published with Release
+        // (we loaded len with Acquire) and the slot was fully written before
+        // len was bumped.
+        unsafe { self.get_unchecked(index) }
+    }
+
+    /// Read an element without a bounds check.
+    ///
+    /// # Safety
+    /// `index` must be less than a value previously observed from `len()`.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, index: usize) -> &T {
+        let (bucket, offset) = locate(index);
+        let ptr = self.spine[bucket].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null());
+        unsafe { &*ptr.add(offset) }
+    }
+
+    /// Append an element, returning its index.
+    ///
+    /// # Safety
+    /// The caller must guarantee it is the only thread calling `push`
+    /// (the OM list serializes pushes under its insert mutex).
+    pub unsafe fn push(&self, value: T) -> usize {
+        let index = self.len.load(Ordering::Relaxed);
+        let (bucket, offset) = locate(index);
+        let mut ptr = self.spine[bucket].load(Ordering::Relaxed);
+        if ptr.is_null() {
+            let cap = bucket_capacity(bucket);
+            let mut chunk: Vec<T> = Vec::with_capacity(cap);
+            ptr = chunk.as_mut_ptr();
+            std::mem::forget(chunk);
+            self.spine[bucket].store(ptr, Ordering::Release);
+        }
+        // SAFETY: single writer; slot `offset` has never been initialized.
+        unsafe { ptr.add(offset).write(value) };
+        self.len.store(index + 1, Ordering::Release);
+        index
+    }
+
+    /// Approximate heap bytes held by the arena (for memory reporting).
+    pub fn heap_bytes(&self) -> usize {
+        let len = self.len();
+        if len == 0 {
+            return 0;
+        }
+        let (last_bucket, _) = locate(len - 1);
+        (0..=last_bucket).map(|b| bucket_capacity(b) * std::mem::size_of::<T>()).sum()
+    }
+}
+
+impl<T> Drop for AppendArena<T> {
+    fn drop(&mut self) {
+        let len = *self.len.get_mut();
+        for bucket in 0..SPINE {
+            let ptr = *self.spine[bucket].get_mut();
+            if ptr.is_null() {
+                continue;
+            }
+            let cap = bucket_capacity(bucket);
+            let start: usize = (0..bucket).map(bucket_capacity).sum();
+            let inited = len.saturating_sub(start).min(cap);
+            // SAFETY: we own the buckets; `inited` slots were written.
+            unsafe {
+                drop(Vec::from_raw_parts(ptr, inited, cap));
+            }
+        }
+    }
+}
+
+// SAFETY: the arena hands out &T only; writers are externally serialized.
+unsafe impl<T: Send + Sync> Send for AppendArena<T> {}
+unsafe impl<T: Send + Sync> Sync for AppendArena<T> {}
+
+impl<T> Default for AppendArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_is_monotone_and_dense() {
+        let mut prev = locate(0);
+        assert_eq!(prev, (0, 0));
+        for i in 1..100_000usize {
+            let cur = locate(i);
+            if cur.0 == prev.0 {
+                assert_eq!(cur.1, prev.1 + 1, "index {i}");
+            } else {
+                assert_eq!(cur.0, prev.0 + 1, "index {i}");
+                assert_eq!(cur.1, 0, "index {i}");
+                assert_eq!(prev.1, bucket_capacity(prev.0) - 1, "index {i}");
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let arena = AppendArena::new();
+        for i in 0..10_000usize {
+            let idx = unsafe { arena.push(i * 3) };
+            assert_eq!(idx, i);
+        }
+        assert_eq!(arena.len(), 10_000);
+        for i in 0..10_000usize {
+            assert_eq!(*arena.get(i), i * 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let arena: AppendArena<u32> = AppendArena::new();
+        unsafe {
+            arena.push(7);
+        }
+        arena.get(1);
+    }
+
+    #[test]
+    fn drop_runs_destructors() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let arena = AppendArena::new();
+            for _ in 0..500 {
+                unsafe {
+                    arena.push(D);
+                }
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn heap_bytes_grows() {
+        let arena: AppendArena<u64> = AppendArena::new();
+        assert_eq!(arena.heap_bytes(), 0);
+        unsafe {
+            arena.push(1);
+        }
+        let one = arena.heap_bytes();
+        assert!(one >= 64 * 8);
+        for i in 0..1000 {
+            unsafe {
+                arena.push(i);
+            }
+        }
+        assert!(arena.heap_bytes() > one);
+    }
+
+    #[test]
+    fn concurrent_readers_with_single_writer() {
+        use std::sync::Arc;
+        let arena = Arc::new(AppendArena::<usize>::new());
+        let stop = Arc::new(AtomicUsize::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let a = Arc::clone(&arena);
+            let s = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                while s.load(Ordering::Relaxed) == 0 {
+                    let len = a.len();
+                    if len > 0 {
+                        // every published slot must hold its own index
+                        let i = len / 2;
+                        assert_eq!(*a.get(i), i);
+                    }
+                }
+            }));
+        }
+        for i in 0..200_000usize {
+            unsafe {
+                arena.push(i);
+            }
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

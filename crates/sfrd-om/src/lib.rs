@@ -1,0 +1,45 @@
+//! # sfrd-om — order maintenance for SF-Order
+//!
+//! An [order-maintenance](https://en.wikipedia.org/wiki/Order-maintenance_problem)
+//! list: a total order supporting
+//!
+//! * [`OmList::insert_after`] — insert a new element right after an existing
+//!   one, amortized O(1);
+//! * [`OmList::order`] / [`OmList::precedes`] — compare two elements, O(1),
+//!   **lock-free** (queries may race with inserts and relabels; a seqlock
+//!   makes them linearizable).
+//!
+//! SF-Order (and its SP-dag ancestor WSP-Order) performs reachability
+//! analysis by keeping every executed strand in two such total orders — the
+//! *English* (left-to-right depth-first) and *Hebrew* (right-to-left
+//! depth-first) orders — and declaring two strands logically parallel iff
+//! the two orders disagree about them. See `sfrd-reach::sp_order`.
+//!
+//! WSP-Order obtains amortized O(1) concurrent operation via specialized
+//! work-stealing-runtime support for parallel rebalancing; this crate
+//! instead serializes inserts with a mutex and keeps *queries* lock-free,
+//! which preserves the complexity story at benchmark scale (DESIGN.md §5).
+//!
+//! ```
+//! use sfrd_om::OmList;
+//!
+//! let (list, a) = OmList::new();
+//! let c = list.insert_after(a);      // order: a, c
+//! let b = list.insert_after(a);      // order: a, b, c
+//! assert!(list.precedes(a, b));
+//! assert!(list.precedes(b, c));
+//! assert!(!list.precedes(c, a));
+//! // Handles stay valid across arbitrary later insertions and relabels.
+//! for _ in 0..10_000 {
+//!     list.insert_after(a);
+//! }
+//! assert!(list.precedes(a, b) && list.precedes(b, c));
+//! ```
+
+#![warn(missing_docs)]
+
+mod arena;
+mod list;
+
+pub use arena::AppendArena;
+pub use list::{OmHandle, OmList};

@@ -1,0 +1,511 @@
+//! Two-level order-maintenance list.
+//!
+//! Supports `insert_after(x)` in amortized O(1) and `order(a, b)` in O(1),
+//! with order queries running lock-free while inserts (and the occasional
+//! relabel) are serialized by a mutex. Queries are validated with a seqlock:
+//! a relabel bumps the sequence number to odd, rewrites labels, then bumps it
+//! back to even; a query retries if it observed a torn state.
+//!
+//! Layout: items live in *groups*. Each group has a 64-bit label; items carry
+//! a 64-bit label that is meaningful only within their group. An item's key
+//! is the pair `(group_label, item_label)`. When a gap between adjacent item
+//! labels closes, the group is relabeled with even spacing; when a group
+//! grows past [`GROUP_MAX`] it splits in two; when group labels run out of
+//! gaps, all group labels are respread evenly. Splits and respreads touch
+//! O(group) / O(#groups) labels but occur geometrically rarely, giving the
+//! amortized O(1) insert of classic order-maintenance structures.
+//!
+//! This is the stand-in for WSP-Order's scheduler-integrated OM structure
+//! (see DESIGN.md §5): the asymptotics match, but rebalancing here blocks
+//! concurrent *inserts* (never queries, which simply retry).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::arena::AppendArena;
+
+/// Maximum items per group before it splits. A small power of two keeps
+/// relabels cheap and gaps wide.
+const GROUP_MAX: usize = 64;
+/// Sentinel index for "no item / no group".
+const NIL: u32 = u32::MAX;
+
+/// Handle to an element of an [`OmList`]. Plain index — cheap to copy and
+/// store in dag nodes. Valid only for the list that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OmHandle(pub(crate) u32);
+
+impl OmHandle {
+    /// Raw index of the handle within its list (stable for its lifetime).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+struct ItemSlot {
+    /// Item label within its group. Mutated only under the list mutex;
+    /// read by queries.
+    label: AtomicU64,
+    /// Group index. Mutated only under the list mutex (on splits).
+    group: AtomicU32,
+    /// Next item in the group (NIL-terminated). Only touched under the mutex.
+    next: AtomicU32,
+    /// Previous item in the group. Only touched under the mutex.
+    prev: AtomicU32,
+}
+
+struct GroupSlot {
+    /// Group label; total order of groups. Mutated under the mutex.
+    label: AtomicU64,
+    /// First item in this group. Only touched under the mutex.
+    first: AtomicU32,
+    /// Last item in this group. Only touched under the mutex.
+    last: AtomicU32,
+    /// Item count. Only touched under the mutex.
+    count: AtomicU32,
+    /// Next group in list order. Only touched under the mutex.
+    next: AtomicU32,
+    /// Previous group in list order. Only touched under the mutex.
+    prev: AtomicU32,
+}
+
+/// Bookkeeping owned by the insert mutex.
+struct Inner {
+    head_group: u32,
+    tail_group: u32,
+    /// Total relabel passes (group respreads + splits), for stats/tests.
+    relabels: u64,
+}
+
+/// Order-maintenance list: total order with O(1) amortized `insert_after`
+/// and O(1) lock-free `order` queries.
+pub struct OmList {
+    items: AppendArena<ItemSlot>,
+    groups: AppendArena<GroupSlot>,
+    /// Seqlock protecting label consistency for queries.
+    seq: AtomicU64,
+    lock: Mutex<Inner>,
+}
+
+impl OmList {
+    /// Create a list containing a single base element, returned as a handle.
+    pub fn new() -> (Self, OmHandle) {
+        let list = Self {
+            items: AppendArena::new(),
+            groups: AppendArena::new(),
+            seq: AtomicU64::new(0),
+            lock: Mutex::new(Inner { head_group: 0, tail_group: 0, relabels: 0 }),
+        };
+        // SAFETY: no other threads exist yet.
+        unsafe {
+            list.groups.push(GroupSlot {
+                label: AtomicU64::new(u64::MAX / 2),
+                first: AtomicU32::new(0),
+                last: AtomicU32::new(0),
+                count: AtomicU32::new(1),
+                next: AtomicU32::new(NIL),
+                prev: AtomicU32::new(NIL),
+            });
+            list.items.push(ItemSlot {
+                label: AtomicU64::new(u64::MAX / 2),
+                group: AtomicU32::new(0),
+                next: AtomicU32::new(NIL),
+                prev: AtomicU32::new(NIL),
+            });
+        }
+        (list, OmHandle(0))
+    }
+
+    /// Number of elements in the list.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the list holds only elements inserted by [`OmList::new`].
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total relabel passes performed (test/diagnostic aid).
+    pub fn relabel_count(&self) -> u64 {
+        self.lock.lock().relabels
+    }
+
+    /// Approximate heap bytes used (for the Fig. 5 memory report).
+    pub fn heap_bytes(&self) -> usize {
+        self.items.heap_bytes() + self.groups.heap_bytes() + std::mem::size_of::<Self>()
+    }
+
+    /// Insert a new element immediately after `after`, returning its handle.
+    pub fn insert_after(&self, after: OmHandle) -> OmHandle {
+        let mut inner = self.lock.lock();
+        self.insert_after_locked(&mut inner, after)
+    }
+
+    /// Insert two elements right after `after`; returns `(first, second)`
+    /// where order is `after < first < second`. Used by SP-Order at spawn.
+    pub fn insert_two_after(&self, after: OmHandle) -> (OmHandle, OmHandle) {
+        let mut inner = self.lock.lock();
+        let first = self.insert_after_locked(&mut inner, after);
+        let second = self.insert_after_locked(&mut inner, first);
+        (first, second)
+    }
+
+    fn insert_after_locked(&self, inner: &mut Inner, after: OmHandle) -> OmHandle {
+        let pred = after.0;
+        loop {
+            let pred_slot = self.items.get(pred as usize);
+            let gidx = pred_slot.group.load(Ordering::Relaxed);
+            let group = self.groups.get(gidx as usize);
+            let pred_label = pred_slot.label.load(Ordering::Relaxed);
+            let succ = pred_slot.next.load(Ordering::Relaxed);
+            let succ_label = if succ == NIL {
+                u64::MAX
+            } else {
+                self.items.get(succ as usize).label.load(Ordering::Relaxed)
+            };
+            if succ_label - pred_label >= 2 {
+                let label = pred_label + (succ_label - pred_label) / 2;
+                // SAFETY: we hold the insert mutex — single writer.
+                let new = unsafe {
+                    self.items.push(ItemSlot {
+                        label: AtomicU64::new(label),
+                        group: AtomicU32::new(gidx),
+                        next: AtomicU32::new(succ),
+                        prev: AtomicU32::new(pred),
+                    })
+                } as u32;
+                pred_slot.next.store(new, Ordering::Relaxed);
+                if succ == NIL {
+                    group.last.store(new, Ordering::Relaxed);
+                } else {
+                    self.items.get(succ as usize).prev.store(new, Ordering::Relaxed);
+                }
+                let count = group.count.load(Ordering::Relaxed) + 1;
+                group.count.store(count, Ordering::Relaxed);
+                if count as usize > GROUP_MAX {
+                    self.split_group(inner, gidx);
+                }
+                return OmHandle(new);
+            }
+            // No label gap: respace the group's labels and retry.
+            self.relabel_group(inner, gidx);
+        }
+    }
+
+    /// Evenly respace the item labels of group `gidx`. Seqlock write section.
+    fn relabel_group(&self, inner: &mut Inner, gidx: u32) {
+        let group = self.groups.get(gidx as usize);
+        let count = group.count.load(Ordering::Relaxed) as u64;
+        debug_assert!(count > 0);
+        let stride = u64::MAX / (count + 1);
+        self.seq_write(|| {
+            let mut cur = group.first.load(Ordering::Relaxed);
+            let mut label = stride;
+            while cur != NIL {
+                let slot = self.items.get(cur as usize);
+                slot.label.store(label, Ordering::Relaxed);
+                label += stride;
+                cur = slot.next.load(Ordering::Relaxed);
+            }
+        });
+        inner.relabels += 1;
+    }
+
+    /// Split group `gidx` in half, moving the tail half to a fresh group
+    /// inserted right after it, then respace both halves.
+    fn split_group(&self, inner: &mut Inner, gidx: u32) {
+        let group = self.groups.get(gidx as usize);
+        let count = group.count.load(Ordering::Relaxed) as usize;
+        let keep = count / 2;
+        // Find the first item of the tail half.
+        let mut cut = group.first.load(Ordering::Relaxed);
+        for _ in 0..keep {
+            cut = self.items.get(cut as usize).next.load(Ordering::Relaxed);
+        }
+        let next_gidx = group.next.load(Ordering::Relaxed);
+        let new_label = match self.group_label_gap(gidx, next_gidx) {
+            Some(label) => label,
+            None => {
+                self.respread_group_labels(inner);
+                self.group_label_gap(gidx, next_gidx)
+                    .expect("group label space exhausted after respread")
+            }
+        };
+        // SAFETY: single writer under the mutex.
+        let new_gidx = unsafe {
+            self.groups.push(GroupSlot {
+                label: AtomicU64::new(new_label),
+                first: AtomicU32::new(cut),
+                last: AtomicU32::new(group.last.load(Ordering::Relaxed)),
+                count: AtomicU32::new((count - keep) as u32),
+                next: AtomicU32::new(next_gidx),
+                prev: AtomicU32::new(gidx),
+            })
+        } as u32;
+        let new_group = self.groups.get(new_gidx as usize);
+        // Relink the group list.
+        if next_gidx == NIL {
+            inner.tail_group = new_gidx;
+        } else {
+            self.groups.get(next_gidx as usize).prev.store(new_gidx, Ordering::Relaxed);
+        }
+        group.next.store(new_gidx, Ordering::Relaxed);
+        // Detach the tail half from the old group.
+        let cut_prev = self.items.get(cut as usize).prev.load(Ordering::Relaxed);
+        self.items.get(cut as usize).prev.store(NIL, Ordering::Relaxed);
+        self.items.get(cut_prev as usize).next.store(NIL, Ordering::Relaxed);
+        group.last.store(cut_prev, Ordering::Relaxed);
+        group.count.store(keep as u32, Ordering::Relaxed);
+        // Move tail items to the new group and respace labels of both halves.
+        let stride_old = u64::MAX / (keep as u64 + 1);
+        let stride_new = u64::MAX / ((count - keep) as u64 + 1);
+        self.seq_write(|| {
+            let mut cur = group.first.load(Ordering::Relaxed);
+            let mut label = stride_old;
+            while cur != NIL {
+                let slot = self.items.get(cur as usize);
+                slot.label.store(label, Ordering::Relaxed);
+                label += stride_old;
+                cur = slot.next.load(Ordering::Relaxed);
+            }
+            let mut cur = new_group.first.load(Ordering::Relaxed);
+            let mut label = stride_new;
+            while cur != NIL {
+                let slot = self.items.get(cur as usize);
+                slot.group.store(new_gidx, Ordering::Relaxed);
+                slot.label.store(label, Ordering::Relaxed);
+                label += stride_new;
+                cur = slot.next.load(Ordering::Relaxed);
+            }
+        });
+        inner.relabels += 1;
+    }
+
+    /// A label strictly between group `gidx` and its successor, if a gap exists.
+    fn group_label_gap(&self, gidx: u32, next_gidx: u32) -> Option<u64> {
+        let lo = self.groups.get(gidx as usize).label.load(Ordering::Relaxed);
+        let hi = if next_gidx == NIL {
+            u64::MAX
+        } else {
+            self.groups.get(next_gidx as usize).label.load(Ordering::Relaxed)
+        };
+        if hi - lo >= 2 {
+            Some(lo + (hi - lo) / 2)
+        } else {
+            None
+        }
+    }
+
+    /// Respace ALL group labels evenly. O(#groups); rare.
+    fn respread_group_labels(&self, inner: &mut Inner) {
+        let mut ngroups = 0u64;
+        let mut cur = inner.head_group;
+        while cur != NIL {
+            ngroups += 1;
+            cur = self.groups.get(cur as usize).next.load(Ordering::Relaxed);
+        }
+        let stride = u64::MAX / (ngroups + 1);
+        self.seq_write(|| {
+            let mut cur = inner.head_group;
+            let mut label = stride;
+            while cur != NIL {
+                let slot = self.groups.get(cur as usize);
+                slot.label.store(label, Ordering::Relaxed);
+                label += stride;
+                cur = slot.next.load(Ordering::Relaxed);
+            }
+        });
+        inner.relabels += 1;
+    }
+
+    /// Run `f` inside a seqlock write section (callers hold the mutex).
+    fn seq_write(&self, f: impl FnOnce()) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Release);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        f();
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Read an item's sort key `(group_label, item_label)`.
+    #[inline]
+    fn key(&self, h: OmHandle) -> (u64, u64) {
+        let slot = self.items.get(h.0 as usize);
+        let gidx = slot.group.load(Ordering::Acquire);
+        let glabel = self.groups.get(gidx as usize).label.load(Ordering::Acquire);
+        let label = slot.label.load(Ordering::Acquire);
+        (glabel, label)
+    }
+
+    /// Total-order comparison of two handles. Lock-free; retries across
+    /// concurrent relabels via the seqlock.
+    #[inline]
+    pub fn order(&self, a: OmHandle, b: OmHandle) -> CmpOrdering {
+        if a == b {
+            return CmpOrdering::Equal;
+        }
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let ka = self.key(a);
+            let kb = self.key(b);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            if self.seq.load(Ordering::Acquire) == s1 {
+                debug_assert_ne!(ka, kb, "distinct items must have distinct keys");
+                return ka.cmp(&kb);
+            }
+        }
+    }
+
+    /// True iff `a` is strictly before `b` in the list order.
+    #[inline]
+    pub fn precedes(&self, a: OmHandle, b: OmHandle) -> bool {
+        self.order(a, b) == CmpOrdering::Less
+    }
+
+    /// Collect all handles in list order (test/diagnostic aid; O(n)).
+    pub fn iter_order(&self) -> Vec<OmHandle> {
+        let inner = self.lock.lock();
+        let mut out = Vec::with_capacity(self.items.len());
+        let mut g = inner.head_group;
+        while g != NIL {
+            let group = self.groups.get(g as usize);
+            let mut cur = group.first.load(Ordering::Relaxed);
+            while cur != NIL {
+                out.push(OmHandle(cur));
+                cur = self.items.get(cur as usize).next.load(Ordering::Relaxed);
+            }
+            g = group.next.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    /// Reference model: Vec of handles in true order.
+    fn check_against_model(model: &[OmHandle], list: &OmList) {
+        assert_eq!(list.iter_order(), model);
+        // Spot-check pairwise order on a sample.
+        let n = model.len();
+        for i in (0..n).step_by((n / 50).max(1)) {
+            for j in (0..n).step_by((n / 50).max(1)) {
+                let expect = i.cmp(&j);
+                assert_eq!(list.order(model[i], model[j]), expect, "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_element_only() {
+        let (list, base) = OmList::new();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.order(base, base), CmpOrdering::Equal);
+    }
+
+    #[test]
+    fn sequential_appends_stay_ordered() {
+        let (list, base) = OmList::new();
+        let mut model = vec![base];
+        let mut last = base;
+        for _ in 0..2000 {
+            last = list.insert_after(last);
+            model.push(last);
+        }
+        check_against_model(&model, &list);
+    }
+
+    #[test]
+    fn repeated_insert_after_head_forces_relabels() {
+        let (list, base) = OmList::new();
+        let mut model = vec![base];
+        for _ in 0..2000 {
+            let h = list.insert_after(base);
+            model.insert(1, h);
+        }
+        check_against_model(&model, &list);
+        assert!(list.relabel_count() > 0, "head insertion must trigger relabels");
+    }
+
+    #[test]
+    fn insert_two_after_orders_pair() {
+        let (list, base) = OmList::new();
+        let (a, b) = list.insert_two_after(base);
+        assert!(list.precedes(base, a));
+        assert!(list.precedes(a, b));
+        assert!(!list.precedes(b, a));
+    }
+
+    #[test]
+    fn random_positions_match_model() {
+        let mut rng = StdRng::seed_from_u64(0x5F0D);
+        let (list, base) = OmList::new();
+        let mut model = vec![base];
+        for _ in 0..5000 {
+            let pos = rng.random_range(0..model.len());
+            let h = list.insert_after(model[pos]);
+            model.insert(pos + 1, h);
+        }
+        check_against_model(&model, &list);
+    }
+
+    #[test]
+    fn concurrent_queries_during_inserts_are_consistent() {
+        use std::sync::atomic::{AtomicBool, Ordering as AOrd};
+        use std::sync::Arc;
+        let (list, base) = OmList::new();
+        let list = Arc::new(list);
+        // Build a chain a0 < a1 < ... < a9 that readers will verify forever.
+        let mut chain = vec![base];
+        for i in 0..9 {
+            let h = list.insert_after(chain[i]);
+            chain.push(h);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let list = Arc::clone(&list);
+            let chain = chain.clone();
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(AOrd::Relaxed) {
+                    for w in chain.windows(2) {
+                        assert!(list.precedes(w[0], w[1]));
+                        assert!(!list.precedes(w[1], w[0]));
+                    }
+                }
+            }));
+        }
+        // Hammer inserts right at the head to force splits and respreads.
+        for _ in 0..30_000 {
+            list.insert_after(base);
+        }
+        stop.store(true, AOrd::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(list.relabel_count() > 0);
+    }
+
+    #[test]
+    fn heap_bytes_reports_growth() {
+        let (list, base) = OmList::new();
+        let before = list.heap_bytes();
+        let mut last = base;
+        for _ in 0..10_000 {
+            last = list.insert_after(last);
+        }
+        assert!(list.heap_bytes() > before);
+    }
+}

@@ -1,0 +1,228 @@
+//! Future-ID sets as bitmaps — the `cp`/`gp` representation of §4.
+//!
+//! Because future ids are dense (`FutureId::index` is a bit position), a
+//! set of futures is an array of `u64` words. This is the concrete win the
+//! paper reports over F-Order's per-node hash tables: membership is one
+//! load, union is a word-wise OR, and sharing is an `Arc` clone.
+//!
+//! Sets are immutable once built; "mutation" builds a new set. The
+//! [`merge`] helper implements the §3.4 discipline: a node with one parent
+//! shares its parent's table (pointer copy); a node with two parents
+//! allocates a union only when *each side contains something the other
+//! lacks* — which Xu et al. show happens O(k) times in total.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sfrd_dag::FutureId;
+
+/// An immutable set of future ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FutureSet {
+    words: Box<[u64]>,
+}
+
+impl FutureSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Singleton set.
+    pub fn singleton(f: FutureId) -> Self {
+        let w = f.index() / 64;
+        let mut words = vec![0u64; w + 1];
+        words[w] |= 1 << (f.index() % 64);
+        Self { words: words.into_boxed_slice() }
+    }
+
+    /// Membership test. Missing words read as zero, so sets built when
+    /// fewer futures existed keep working as `k` grows.
+    #[inline]
+    pub fn contains(&self, f: FutureId) -> bool {
+        let w = f.index() / 64;
+        self.words.get(w).is_some_and(|&word| word >> (f.index() % 64) & 1 == 1)
+    }
+
+    /// A copy of `self` with `f` added.
+    pub fn with(&self, f: FutureId) -> Self {
+        let w = f.index() / 64;
+        let mut words = self.words.to_vec();
+        if words.len() <= w {
+            words.resize(w + 1, 0);
+        }
+        words[w] |= 1 << (f.index() % 64);
+        Self { words: words.into_boxed_slice() }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        let (long, short) =
+            if self.words.len() >= other.words.len() { (self, other) } else { (other, self) };
+        let mut words = long.words.to_vec();
+        for (w, &s) in words.iter_mut().zip(short.words.iter()) {
+            *w |= s;
+        }
+        Self { words: words.into_boxed_slice() }
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        for (i, &w) in self.words.iter().enumerate() {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            if w & !o != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of futures in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no future is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Heap bytes of this set's payload.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Iterate members (ascending).
+    pub fn iter(&self) -> impl Iterator<Item = FutureId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w >> b & 1 == 1).map(move |b| FutureId((wi * 64 + b) as u32))
+        })
+    }
+}
+
+/// Allocation/merge counters, reported in the Fig. 5 memory table.
+#[derive(Debug, Default)]
+pub struct SetStats {
+    /// Cumulative bytes allocated for set payloads.
+    pub bytes_allocated: AtomicU64,
+    /// Number of sets allocated.
+    pub allocations: AtomicU64,
+    /// Number of true merges (both sides contributed members).
+    pub merges: AtomicU64,
+}
+
+impl SetStats {
+    /// Record one fresh allocation.
+    pub fn note_alloc(&self, set: &FutureSet) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add((set.heap_bytes() + std::mem::size_of::<FutureSet>()) as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot `(allocations, bytes, merges)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.allocations.load(Ordering::Relaxed),
+            self.bytes_allocated.load(Ordering::Relaxed),
+            self.merges.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Merge two shared sets with the pointer-sharing discipline of §3.4:
+/// reuse a side when it already covers the other, allocate a union only
+/// when both sides contain something the other lacks.
+pub fn merge(a: &Arc<FutureSet>, b: &Arc<FutureSet>, stats: &SetStats) -> Arc<FutureSet> {
+    if Arc::ptr_eq(a, b) || b.is_subset(a) {
+        return Arc::clone(a);
+    }
+    if a.is_subset(b) {
+        return Arc::clone(b);
+    }
+    stats.merges.fetch_add(1, Ordering::Relaxed);
+    let u = a.union(b);
+    stats.note_alloc(&u);
+    Arc::new(u)
+}
+
+/// `set ∪ {f}` with sharing when `f` is already present.
+pub fn with_future(set: &Arc<FutureSet>, f: FutureId, stats: &SetStats) -> Arc<FutureSet> {
+    if set.contains(f) {
+        return Arc::clone(set);
+    }
+    let s = set.with(f);
+    stats.note_alloc(&s);
+    Arc::new(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FutureId {
+        FutureId(i)
+    }
+
+    #[test]
+    fn singleton_and_contains() {
+        let s = FutureSet::singleton(f(70));
+        assert!(s.contains(f(70)));
+        assert!(!s.contains(f(69)));
+        assert!(!s.contains(f(700))); // beyond allocated words
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn with_extends_words() {
+        let s = FutureSet::empty().with(f(3)).with(f(200));
+        assert!(s.contains(f(3)) && s.contains(f(200)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![f(3), f(200)]);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = FutureSet::singleton(f(1)).with(f(64));
+        let b = FutureSet::singleton(f(2));
+        let u = a.union(&b);
+        assert!(a.is_subset(&u) && b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+        assert_eq!(u.len(), 3);
+        // Subset across different word lengths.
+        assert!(FutureSet::singleton(f(0)).is_subset(&FutureSet::singleton(f(0)).with(f(500))));
+        assert!(!FutureSet::singleton(f(500)).is_subset(&FutureSet::singleton(f(0))));
+    }
+
+    #[test]
+    fn empty_is_subset_of_everything() {
+        let e = FutureSet::empty();
+        assert!(e.is_empty());
+        assert!(e.is_subset(&FutureSet::singleton(f(9))));
+        assert!(e.is_subset(&e));
+    }
+
+    #[test]
+    fn merge_shares_pointers_when_possible() {
+        let stats = SetStats::default();
+        let a = Arc::new(FutureSet::singleton(f(1)).with(f(2)));
+        let b = Arc::new(FutureSet::singleton(f(1)));
+        let m = merge(&a, &b, &stats);
+        assert!(Arc::ptr_eq(&m, &a));
+        assert_eq!(stats.snapshot().2, 0, "no true merge expected");
+        let c = Arc::new(FutureSet::singleton(f(9)));
+        let m2 = merge(&a, &c, &stats);
+        assert!(m2.contains(f(1)) && m2.contains(f(9)));
+        assert_eq!(stats.snapshot().2, 1);
+    }
+
+    #[test]
+    fn with_future_shares_when_present() {
+        let stats = SetStats::default();
+        let a = Arc::new(FutureSet::singleton(f(4)));
+        let same = with_future(&a, f(4), &stats);
+        assert!(Arc::ptr_eq(&a, &same));
+        let grown = with_future(&a, f(5), &stats);
+        assert!(grown.contains(f(5)));
+        assert_eq!(stats.snapshot().0, 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! A small, fast, non-cryptographic hasher (Fx-style multiplicative hash).
+//!
+//! F-Order's per-node tables are keyed by dense `FutureId`s; SipHash would
+//! dominate their cost and distort the comparison with SF-Order's bitmaps.
+//! This is the standard `FxHasher` word-mix, implemented locally to stay
+//! within the approved dependency set (DESIGN.md §6).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio-derived odd multiplier (same constant rustc's FxHash uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiplicative word hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions expected on small dense keys");
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(65, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.get(&65), Some(&"b"));
+        assert_eq!(m.get(&2), None);
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world!!"); // 13 bytes: one full + one partial chunk
+        let mut b = FxHasher::default();
+        b.write(b"hello world!?");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

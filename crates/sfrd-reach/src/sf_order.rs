@@ -1,0 +1,294 @@
+//! **SF-Order reachability** — the paper's core contribution (§3).
+//!
+//! Three structures, exactly as §3.2:
+//!
+//! 1. [`SpOrder`] on the pseudo-SP-dag — answers `u ↠ v` in O(1);
+//! 2. per-future `cp(G)` — the bitmap of `G`'s proper future ancestors;
+//! 3. per-strand `gp(v)` — the bitmap of futures `F` with
+//!    `last(F) ;NSP v`.
+//!
+//! Query (Algorithm 1), for `u ∈ F`, `v ∈ G`:
+//!
+//! ```text
+//! if F == G           → u ↠ v          (Lemmas 3.3/3.7)
+//! if F ∈ cp(G)        → u ↠ v          (Lemmas 3.5/3.8/3.9)
+//! else                → F ∈ gp(v)      (Lemma 3.4)
+//! ```
+//!
+//! All three checks are O(1), giving the paper's constant-time query.
+//! Maintenance (§3.4): `cp` is copied once per create (O(k) each, O(k²)
+//! total); `gp` is pointer-shared through single-parent nodes and merged at
+//! sync/get nodes only when both sides diverge (O(k) merges total).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use sfrd_dag::FutureId;
+
+use crate::bitmap::{merge, with_future, FutureSet, SetStats};
+use crate::sp_order::{SpOrder, SpTask, StrandPos};
+
+/// SF-Order's access-history key (shared across engines).
+pub type SfPos = StrandPos;
+
+/// Per-task SF-Order state, threaded through the runtime hooks.
+#[derive(Debug)]
+pub struct SfStrand {
+    sp: SpTask,
+    future: FutureId,
+    /// `cp` of the owning future (proper ancestors).
+    cp: Arc<FutureSet>,
+    /// `gp` of the current strand.
+    gp: Arc<FutureSet>,
+}
+
+impl SfStrand {
+    /// Identity of the current strand for the access history.
+    #[inline]
+    pub fn pos(&self) -> SfPos {
+        StrandPos { sp: self.sp.pos(), future: self.future }
+    }
+
+    /// Owning future id.
+    #[inline]
+    pub fn future(&self) -> FutureId {
+        self.future
+    }
+
+    /// Current `gp` table (shared).
+    pub fn gp(&self) -> &Arc<FutureSet> {
+        &self.gp
+    }
+}
+
+/// The SF-Order reachability engine. Thread-safe: hook methods take the
+/// calling task's own strand mutably and may run concurrently across tasks.
+pub struct SfReach {
+    sp: SpOrder,
+    next_future: AtomicU32,
+    stats: SetStats,
+}
+
+impl SfReach {
+    /// New engine; returns the root task's strand (future 0).
+    pub fn new() -> (Self, SfStrand) {
+        let (sp, task) = SpOrder::new();
+        let empty = Arc::new(FutureSet::empty());
+        let engine = Self { sp, next_future: AtomicU32::new(1), stats: SetStats::default() };
+        let root = SfStrand {
+            sp: task,
+            future: FutureId::ROOT,
+            cp: Arc::clone(&empty),
+            gp: empty,
+        };
+        (engine, root)
+    }
+
+    /// `spawn`: child shares the future, `cp`, and (pointer-shared) `gp`.
+    pub fn spawn(&self, parent: &mut SfStrand) -> SfStrand {
+        let child_sp = self.sp.fork(&mut parent.sp);
+        SfStrand {
+            sp: child_sp,
+            future: parent.future,
+            cp: Arc::clone(&parent.cp),
+            gp: Arc::clone(&parent.gp),
+        }
+    }
+
+    /// `create`: mint a future id; the child's `cp` is the parent's plus
+    /// the parent future itself (the O(k)-per-create copy of Lemma 3.12).
+    pub fn create(&self, parent: &mut SfStrand) -> SfStrand {
+        let child_sp = self.sp.fork(&mut parent.sp);
+        let fid = FutureId(self.next_future.fetch_add(1, Ordering::Relaxed));
+        let cp = with_future(&parent.cp, parent.future, &self.stats);
+        SfStrand { sp: child_sp, future: fid, cp, gp: Arc::clone(&parent.gp) }
+    }
+
+    /// `sync`: join spawned children; `gp(s) = gp(u) ∪ ⋃ gp(cᵢ)`.
+    pub fn sync<'a>(&self, s: &mut SfStrand, children: impl IntoIterator<Item = &'a SfStrand>) {
+        self.sp.sync(&mut s.sp);
+        for c in children {
+            debug_assert_eq!(c.future, s.future);
+            s.gp = merge(&s.gp, &c.gp, &self.stats);
+        }
+    }
+
+    /// `get` of a completed future whose final strand is `done`:
+    /// `gp(g) = gp(u) ∪ gp(last(G)) ∪ {G}`.
+    pub fn get(&self, s: &mut SfStrand, done: &SfStrand) {
+        let with_done = with_future(&done.gp, done.future, &self.stats);
+        s.gp = merge(&s.gp, &with_done, &self.stats);
+    }
+
+    /// Implicit task-end sync (closes the PSP sync block).
+    pub fn task_end(&self, s: &mut SfStrand) {
+        self.sp.sync(&mut s.sp);
+    }
+
+    /// **Algorithm 1**: does the strand recorded as `u` precede the current
+    /// strand `v` (reflexively)? O(1).
+    #[inline]
+    pub fn precedes(&self, u: SfPos, v: &SfStrand) -> bool {
+        self.precedes_pos(u, v.pos(), &v.cp, &v.gp)
+    }
+
+    /// Query between two recorded positions, given the querier also knows
+    /// `v`'s `cp`/`gp`. This is Algorithm 1 verbatim, including the
+    /// fall-through: a failed case-2 PSP check still consults `gp(v)`
+    /// (line 6). For `F = G` the fall-through provably cannot fire
+    /// (`F ∈ gp(v)` would require `last(F) ≺ v ∈ F`), so we return the PSP
+    /// answer directly there.
+    pub fn precedes_pos(&self, u: SfPos, v: SfPos, v_cp: &FutureSet, v_gp: &FutureSet) -> bool {
+        if u.future == v.future {
+            return self.sp.precedes_eq(u.sp, v.sp);
+        }
+        if v_cp.contains(u.future) && self.sp.precedes_eq(u.sp, v.sp) {
+            return true;
+        }
+        v_gp.contains(u.future)
+    }
+
+    /// The underlying pseudo-SP-dag order structure (for access-history
+    /// leftmost/rightmost comparisons).
+    pub fn sp_order(&self) -> &SpOrder {
+        &self.sp
+    }
+
+    /// Number of futures created so far (k), root included.
+    pub fn future_count(&self) -> u32 {
+        self.next_future.load(Ordering::Relaxed)
+    }
+
+    /// Bitmap allocation statistics (Fig. 5).
+    pub fn set_stats(&self) -> &SetStats {
+        &self.stats
+    }
+
+    /// Heap bytes of the reachability structures: OM lists + cumulative
+    /// bitmap payloads.
+    pub fn heap_bytes(&self) -> usize {
+        self.sp.heap_bytes() + self.stats.snapshot().1 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root creates F; root's continuation is ∥ F; after get, F ≺ root.
+    #[test]
+    fn create_get_basic_relations() {
+        let (eng, mut root) = SfReach::new();
+        let u0 = root.pos();
+        let mut fut = eng.create(&mut root);
+        let fut_first = fut.pos();
+        let k = root.pos();
+        // Future does some work (a fork inside, to move its strand).
+        let inner = eng.spawn(&mut fut);
+        eng.sync(&mut fut, [&inner]);
+        eng.task_end(&mut fut);
+        let put = fut.pos();
+
+        // Before the get: future strands ∥ continuation.
+        assert!(eng.precedes(u0, &root));
+        assert!(!eng.precedes(fut_first, &root), "created future ∥ continuation");
+        assert!(!eng.precedes(put, &root));
+        let _ = k;
+
+        eng.get(&mut root, &fut);
+        assert!(eng.precedes(put, &root), "after get, put ≺ getter");
+        assert!(eng.precedes(fut_first, &root));
+        assert!(eng.precedes(inner.pos(), &root), "nested strands precede via last(F)");
+    }
+
+    /// Case 2: ancestor-future strands relate to descendants through PSP.
+    #[test]
+    fn ancestor_descendant_uses_psp() {
+        let (eng, mut root) = SfReach::new();
+        let before = root.pos();
+        let mut f = eng.create(&mut root);
+        let after_create = root.pos();
+        let g = eng.create(&mut f); // grandchild future
+        // The create node (before) precedes everything in F and G.
+        assert!(eng.precedes(before, &f));
+        assert!(eng.precedes(before, &g));
+        // The root's continuation after the create is ∥ F and G.
+        assert!(!eng.precedes(after_create, &g));
+        // cp chains: G's ancestors are {root, F}.
+        assert!(g.cp.contains(FutureId::ROOT));
+        assert!(g.cp.contains(f.future()));
+        assert!(!g.cp.contains(g.future()));
+    }
+
+    /// Case 3: sibling futures are unrelated until a get links them.
+    #[test]
+    fn sibling_futures_linked_by_get() {
+        let (eng, mut root) = SfReach::new();
+        let mut a = eng.create(&mut root);
+        eng.task_end(&mut a);
+        let a_pos = a.pos();
+        // Sibling future B created after getting A: A's strands precede B's.
+        eng.get(&mut root, &a);
+        let mut b = eng.create(&mut root);
+        assert!(eng.precedes(a_pos, &b), "A's put flows into B via gp inheritance");
+        assert!(b.gp().contains(a.future()));
+        eng.task_end(&mut b);
+        // Reverse direction must be false.
+        assert!(!eng.precedes(b.pos(), &a));
+    }
+
+    /// Siblings with no get between them are parallel.
+    #[test]
+    fn sibling_futures_without_get_are_parallel() {
+        let (eng, mut root) = SfReach::new();
+        let mut a = eng.create(&mut root);
+        eng.task_end(&mut a);
+        let mut b = eng.create(&mut root);
+        eng.task_end(&mut b);
+        assert!(!eng.precedes(a.pos(), &b));
+        assert!(!eng.precedes(b.pos(), &a));
+    }
+
+    /// The phantom-path hazard of §3.1: sibling future C must stay parallel
+    /// to strands after F's sync even though PSP has a fake path.
+    #[test]
+    fn phantom_paths_do_not_leak() {
+        let (eng, mut root) = SfReach::new();
+        // root creates C (never gotten before the probe).
+        let mut c = eng.create(&mut root);
+        eng.task_end(&mut c);
+        let c_pos = c.pos();
+        // root spawns + syncs — in PSP, C joins this sync (fake edge!).
+        let sp = eng.spawn(&mut root);
+        eng.sync(&mut root, [&sp]);
+        // After the sync, C is still logically parallel to root.
+        assert!(
+            !eng.precedes(c_pos, &root),
+            "fake PSP join must not order the ungotten future before the sync"
+        );
+        // ... but the gp route reports it once gotten.
+        eng.get(&mut root, &c);
+        assert!(eng.precedes(c_pos, &root));
+    }
+
+    #[test]
+    fn future_ids_are_dense() {
+        let (eng, mut root) = SfReach::new();
+        let a = eng.create(&mut root);
+        let b = eng.create(&mut root);
+        assert_eq!(a.future(), FutureId(1));
+        assert_eq!(b.future(), FutureId(2));
+        assert_eq!(eng.future_count(), 3);
+    }
+
+    #[test]
+    fn heap_bytes_nonzero_after_activity() {
+        let (eng, mut root) = SfReach::new();
+        let mut f = eng.create(&mut root);
+        eng.task_end(&mut f);
+        eng.get(&mut root, &f);
+        assert!(eng.heap_bytes() > 0);
+        let (allocs, bytes, _) = eng.set_stats().snapshot();
+        assert!(allocs >= 1 && bytes > 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! SP-Order maintenance over the pseudo-SP-dag.
+//!
+//! Keeps every strand of `PSP(D)` in two order-maintenance total orders —
+//! the *English* order (left-to-right depth-first) and the *Hebrew* order
+//! (right-to-left depth-first) — so that `u ↠ v` (reachability in the
+//! pseudo-SP-dag) is answered in O(1): `u ↠ v` iff `u` comes before `v` in
+//! **both** orders (Nudler–Rudolph; maintained as in WSP-Order [39]).
+//!
+//! Insertion rules (derived in DESIGN.md §5; `u` is the strand executing
+//! the construct, `c` the child's first strand, `k` the continuation, `s`
+//! the pre-created strand that follows the *next* sync):
+//!
+//! * first spawn/create of a sync block: English `u, c, k, s`;
+//!   Hebrew `u, k, c, s`;
+//! * later spawn/create in the block: English inserts `c, k` right after
+//!   `u` (before `s`); Hebrew inserts `k, c` right after `u` (child
+//!   subtrees pile up *before* `s` and after all continuations);
+//! * `sync` (and the implicit task-end sync): the strand *becomes* `s`;
+//! * `get`: no effect — in `PSP(D)` the get node is a serial continuation,
+//!   so it shares its predecessor's position.
+//!
+//! In `PSP(D)` a `create` is exactly a `spawn` (joined at the block's
+//! sync), so both constructs use the same rule.
+
+use sfrd_dag::FutureId;
+use sfrd_om::{OmHandle, OmList};
+
+/// A strand's position: one handle in each total order. Strands that are
+/// serially equivalent in `PSP(D)` may share a position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpPos {
+    /// Position in the English (left-to-right DFS) order.
+    pub eng: OmHandle,
+    /// Position in the Hebrew (right-to-left DFS) order.
+    pub heb: OmHandle,
+}
+
+/// A strand's identity for access-history purposes: its pseudo-SP-dag
+/// position plus the future task that owns it. Every reachability engine
+/// (SF-Order, F-Order, MultiBags) keys its queries on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrandPos {
+    /// Position in the pseudo-SP-dag orders.
+    pub sp: SpPos,
+    /// Owning future task.
+    pub future: FutureId,
+}
+
+/// Per-task SP-Order state. Each runtime task owns exactly one.
+#[derive(Debug)]
+pub struct SpTask {
+    /// Current strand position.
+    cur: SpPos,
+    /// The pre-created post-sync position of the currently open sync block.
+    block: Option<SpPos>,
+}
+
+impl SpTask {
+    /// The task's current strand position.
+    #[inline]
+    pub fn pos(&self) -> SpPos {
+        self.cur
+    }
+}
+
+/// The two OM lists plus query logic.
+pub struct SpOrder {
+    eng: OmList,
+    heb: OmList,
+}
+
+impl SpOrder {
+    /// New structure; returns the root task's state.
+    pub fn new() -> (Self, SpTask) {
+        let (eng, e0) = OmList::new();
+        let (heb, h0) = OmList::new();
+        (Self { eng, heb }, SpTask { cur: SpPos { eng: e0, heb: h0 }, block: None })
+    }
+
+    /// Handle a `spawn` or `create` by task `t`; returns the child task's
+    /// state. Thread-safe: concurrent tasks may call this simultaneously.
+    pub fn fork(&self, t: &mut SpTask) -> SpTask {
+        let u = t.cur;
+        let (child, cont) = if t.block.is_none() {
+            // English: u, c, k, s — Hebrew: u, k, c, s.
+            let (c_eng, k_eng) = self.eng.insert_two_after(u.eng);
+            let s_eng = self.eng.insert_after(k_eng);
+            let c_heb = self.heb.insert_after(u.heb);
+            let k_heb = self.heb.insert_after(u.heb);
+            let s_heb = self.heb.insert_after(c_heb);
+            t.block = Some(SpPos { eng: s_eng, heb: s_heb });
+            (SpPos { eng: c_eng, heb: c_heb }, SpPos { eng: k_eng, heb: k_heb })
+        } else {
+            let (c_eng, k_eng) = self.eng.insert_two_after(u.eng);
+            let c_heb = self.heb.insert_after(u.heb);
+            let k_heb = self.heb.insert_after(u.heb);
+            (SpPos { eng: c_eng, heb: c_heb }, SpPos { eng: k_eng, heb: k_heb })
+        };
+        t.cur = cont;
+        SpTask { cur: child, block: None }
+    }
+
+    /// Handle a `sync` (or the implicit task-end sync): the task's strand
+    /// moves to the block's post-sync position. No-op when the block is
+    /// closed (nothing was forked since the last sync).
+    pub fn sync(&self, t: &mut SpTask) {
+        if let Some(s) = t.block.take() {
+            t.cur = s;
+        }
+    }
+
+    /// `a ⪯ b` in the pseudo-SP-dag (reflexive): true iff `a` equals `b`
+    /// or precedes it in both total orders.
+    #[inline]
+    pub fn precedes_eq(&self, a: SpPos, b: SpPos) -> bool {
+        if a == b {
+            return true;
+        }
+        self.eng.precedes(a.eng, b.eng) && self.heb.precedes(a.heb, b.heb)
+    }
+
+    /// `a` strictly before `b` in the English (left-to-right DFS) order.
+    #[inline]
+    pub fn eng_precedes(&self, a: SpPos, b: SpPos) -> bool {
+        self.eng.precedes(a.eng, b.eng)
+    }
+
+    /// `a` strictly before `b` in the Hebrew (right-to-left DFS) order.
+    #[inline]
+    pub fn heb_precedes(&self, a: SpPos, b: SpPos) -> bool {
+        self.heb.precedes(a.heb, b.heb)
+    }
+
+    /// Heap bytes of both OM lists (memory reporting).
+    pub fn heap_bytes(&self) -> usize {
+        self.eng.heap_bytes() + self.heb.heap_bytes()
+    }
+
+    /// Number of distinct strand positions allocated.
+    pub fn positions(&self) -> usize {
+        self.eng.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// spawn c1; sync; spawn c2; sync — c1 ≺ c2, each child ∥ its continuation.
+    #[test]
+    fn serial_spawns_are_ordered_by_sync() {
+        let (sp, mut root) = SpOrder::new();
+        let u0 = root.pos();
+        let c1 = sp.fork(&mut root);
+        let k1 = root.pos();
+        sp.sync(&mut root);
+        let s1 = root.pos();
+        let c2 = sp.fork(&mut root);
+        let k2 = root.pos();
+        sp.sync(&mut root);
+        let s2 = root.pos();
+
+        assert!(sp.precedes_eq(u0, c1.pos()));
+        assert!(sp.precedes_eq(c1.pos(), s1));
+        assert!(sp.precedes_eq(c1.pos(), c2.pos()), "sync serializes c1 before c2");
+        assert!(!sp.precedes_eq(c1.pos(), k1) && !sp.precedes_eq(k1, c1.pos()), "c1 ∥ k1");
+        assert!(!sp.precedes_eq(c2.pos(), k2) && !sp.precedes_eq(k2, c2.pos()), "c2 ∥ k2");
+        assert!(sp.precedes_eq(c2.pos(), s2));
+        assert!(!sp.precedes_eq(s2, c2.pos()));
+    }
+
+    /// Two spawns in the SAME block are mutually parallel.
+    #[test]
+    fn same_block_spawns_parallel() {
+        let (sp, mut root) = SpOrder::new();
+        let c1 = sp.fork(&mut root);
+        let c2 = sp.fork(&mut root);
+        sp.sync(&mut root);
+        let s = root.pos();
+        assert!(!sp.precedes_eq(c1.pos(), c2.pos()));
+        assert!(!sp.precedes_eq(c2.pos(), c1.pos()));
+        assert!(sp.precedes_eq(c1.pos(), s) && sp.precedes_eq(c2.pos(), s));
+    }
+
+    /// Nested: child spawns a grandchild; grandchild ∥ parent's continuation
+    /// but precedes the parent's post-sync strand.
+    #[test]
+    fn nested_fork_relations() {
+        let (sp, mut root) = SpOrder::new();
+        let mut c1 = sp.fork(&mut root);
+        let k1 = root.pos();
+        let d = sp.fork(&mut c1);
+        let kd = c1.pos();
+        sp.sync(&mut c1); // child's sync
+        let c1_end = c1.pos();
+        sp.sync(&mut root);
+        let s1 = root.pos();
+
+        assert!(!sp.precedes_eq(d.pos(), k1) && !sp.precedes_eq(k1, d.pos()), "d ∥ k1");
+        assert!(!sp.precedes_eq(d.pos(), kd) && !sp.precedes_eq(kd, d.pos()), "d ∥ kd");
+        assert!(sp.precedes_eq(d.pos(), c1_end));
+        assert!(sp.precedes_eq(d.pos(), s1), "grandchild precedes parent's sync");
+        assert!(sp.precedes_eq(c1_end, s1));
+    }
+
+    /// Create (in PSP) behaves like spawn: created child precedes the
+    /// block's sync position but is parallel to the continuation.
+    #[test]
+    fn create_joins_at_block_sync_in_psp() {
+        let (sp, mut root) = SpOrder::new();
+        let f = sp.fork(&mut root); // create
+        let k = root.pos();
+        // Later content of the future task:
+        let mut fut = f;
+        let inner = sp.fork(&mut fut);
+        sp.sync(&mut fut);
+        sp.sync(&mut root); // explicit sync joins the future in PSP
+        let s = root.pos();
+        assert!(!sp.precedes_eq(fut.pos(), k) && !sp.precedes_eq(k, fut.pos()));
+        assert!(sp.precedes_eq(inner.pos(), s));
+        assert!(sp.precedes_eq(fut.pos(), s));
+    }
+
+    #[test]
+    fn sync_without_fork_is_noop() {
+        let (sp, mut root) = SpOrder::new();
+        let before = root.pos();
+        sp.sync(&mut root);
+        assert_eq!(root.pos(), before);
+    }
+
+    #[test]
+    fn reflexive_precedes() {
+        let (sp, root) = SpOrder::new();
+        assert!(sp.precedes_eq(root.pos(), root.pos()));
+    }
+
+    /// Exhaustive cross-check against the dag oracle on random programs is
+    /// in tests/ at the crate root (drives SpOrder through a ProgramSink).
+    #[test]
+    fn positions_counter_tracks_oms() {
+        let (sp, mut root) = SpOrder::new();
+        assert_eq!(sp.positions(), 1);
+        sp.fork(&mut root);
+        assert_eq!(sp.positions(), 4); // c, k, s added
+        sp.fork(&mut root);
+        assert_eq!(sp.positions(), 6); // c, k added
+    }
+}

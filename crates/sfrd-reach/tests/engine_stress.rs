@@ -1,0 +1,138 @@
+//! Targeted structural stress for the reachability engines: deep ancestor
+//! chains, wide sibling fan-outs, and the exact boundary cases of
+//! Algorithm 1's three-way split.
+
+use sfrd_reach::{FoReach, MbReach, SfReach};
+
+/// A 100-deep create chain: every ancestor's pre-create strand precedes
+/// every descendant (case 2 through a long cp chain); descendants stay
+/// parallel to every post-create continuation.
+#[test]
+fn sf_deep_ancestor_chain() {
+    let (eng, mut root) = SfReach::new();
+    let mut creators = vec![root.pos()];
+    let mut cur = eng.create(&mut root);
+    let mut continuations = vec![root.pos()];
+    let mut strands = Vec::new();
+    for _ in 0..99 {
+        creators.push(cur.pos());
+        let next = eng.create(&mut cur);
+        continuations.push(cur.pos());
+        strands.push(cur);
+        cur = next;
+    }
+    // The deepest strand sees all 100 creator positions as predecessors.
+    for (depth, &c) in creators.iter().enumerate() {
+        assert!(eng.precedes(c, &cur), "creator at depth {depth}");
+    }
+    // But no post-create continuation precedes it.
+    for (depth, &k) in continuations.iter().enumerate() {
+        assert!(!eng.precedes(k, &cur), "continuation at depth {depth}");
+    }
+    // And the deepest strand precedes nothing above it.
+    let deepest = cur.pos();
+    for s in &strands {
+        assert!(!eng.precedes(deepest, s));
+    }
+}
+
+/// The same chain on F-Order (hash-table route).
+#[test]
+fn fo_deep_ancestor_chain() {
+    let (eng, mut root) = FoReach::new();
+    let mut creators = vec![root.pos()];
+    let mut cur = eng.create(&mut root);
+    let mut continuations = vec![root.pos()];
+    for _ in 0..99 {
+        creators.push(cur.pos());
+        let next = eng.create(&mut cur);
+        continuations.push(cur.pos());
+        cur = next;
+    }
+    for &c in &creators {
+        assert!(eng.precedes(c, &cur));
+    }
+    for &k in &continuations {
+        assert!(!eng.precedes(k, &cur));
+    }
+}
+
+/// 200 sibling futures, all gotten: gp accumulates them all; the strand
+/// after the last get succeeds every future, while ungotten ones stay
+/// parallel.
+#[test]
+fn sf_wide_sibling_accumulation() {
+    let (eng, mut root) = SfReach::new();
+    let mut done = Vec::new();
+    let mut escaped = Vec::new();
+    for i in 0..200 {
+        let mut f = eng.create(&mut root);
+        eng.task_end(&mut f);
+        if i % 4 == 0 {
+            escaped.push(f); // never gotten
+        } else {
+            done.push(f);
+        }
+    }
+    for f in &done {
+        eng.get(&mut root, f);
+    }
+    for f in &done {
+        assert!(eng.precedes(f.pos(), &root));
+        assert!(root.gp().contains(f.future()));
+    }
+    for f in &escaped {
+        assert!(!eng.precedes(f.pos(), &root), "escaping future must stay parallel");
+        assert!(!root.gp().contains(f.future()));
+    }
+    assert_eq!(eng.future_count(), 201);
+}
+
+/// MultiBags under a serial spawn tree 12 levels deep: path-compressed
+/// union-find keeps answering after thousands of bag melds.
+#[test]
+fn mb_deep_spawn_tree() {
+    fn go(eng: &mut MbReach, parent: &mut sfrd_reach::MbStrand, depth: u32, positions: &mut Vec<sfrd_reach::MbPos>) {
+        if depth == 0 {
+            positions.push(parent.pos());
+            return;
+        }
+        for _ in 0..2 {
+            let mut c = eng.spawn(parent);
+            go(eng, &mut c, depth - 1, positions);
+            eng.task_end(&mut c);
+            eng.task_return(parent, &c);
+        }
+        eng.sync(parent);
+    }
+    let (mut eng, mut root) = MbReach::new();
+    let mut positions = Vec::new();
+    go(&mut eng, &mut root, 12, &mut positions);
+    assert_eq!(positions.len(), 4096);
+    // After the final sync, every leaf precedes the root strand.
+    for (i, &p) in positions.iter().enumerate() {
+        assert!(eng.precedes(p, &root), "leaf {i}");
+    }
+}
+
+/// Algorithm 1 boundary: u's future equals v's — gp is never consulted
+/// even when it happens to contain unrelated futures.
+#[test]
+fn same_future_route_is_psp_only() {
+    let (eng, mut root) = SfReach::new();
+    // Pump gp with a gotten future.
+    let mut f = eng.create(&mut root);
+    eng.task_end(&mut f);
+    eng.get(&mut root, &f);
+    // Fork-join inside the root future: parallel branches.
+    let a = eng.spawn(&mut root);
+    let a_pos = a.pos();
+    let cont = root.pos();
+    assert!(!eng.precedes(a_pos, &root), "sibling branch is parallel (same future)");
+    eng.sync(&mut root, [&a]);
+    assert!(eng.precedes(a_pos, &root), "sync serializes it");
+    assert!(eng.precedes(cont, &root), "old continuation is a serial ancestor");
+    // Antisymmetry across futures: the root's current strand does not
+    // precede the long-finished future f.
+    assert!(!eng.precedes(root.pos(), &f));
+}

@@ -1,0 +1,284 @@
+//! Ground-truth property tests: every reachability engine, driven through
+//! the serial replay of random structured-future programs, must answer
+//! every access-pair query exactly as the offline dag oracle does.
+//!
+//! This is the strongest correctness statement in the repo: it validates
+//! Algorithm 1 (SF-Order), the F-Order nsp tables, and the MultiBags
+//! SP-bags specialization against brute-force transitive closure on the
+//! *recorded* SF-dag — including escaping futures, nested creates, gets in
+//! arbitrary (structured) orders, and deep fork-join nesting.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+
+use sfrd_dag::generator::{replay, GenParams, GenProgram, ProgramSink};
+use sfrd_dag::{NodeId, RecStrand, Recorder, ReachOracle, EdgeKind};
+use sfrd_reach::{FoReach, FoStrand, MbReach, MbStrand, SfReach, SfStrand};
+
+/// One recorded query: `u`'s dag node, current dag node, engine verdict.
+type Check = (NodeId, NodeId, bool);
+
+// ---------------------------------------------------------------- SF-Order
+
+struct SfSink<'a> {
+    eng: &'a SfReach,
+    rec: &'a Recorder,
+    accesses: Vec<(NodeId, sfrd_reach::SfPos)>,
+    checks: Vec<Check>,
+}
+
+impl ProgramSink for SfSink<'_> {
+    type Strand = (RecStrand, SfStrand);
+
+    fn access(&mut self, s: &mut Self::Strand, addr: u64, write: bool) {
+        self.rec.access(&s.0, addr, write);
+        let cur = s.0.node;
+        for &(n, p) in &self.accesses {
+            self.checks.push((n, cur, self.eng.precedes(p, &s.1)));
+        }
+        self.accesses.push((cur, s.1.pos()));
+    }
+    fn spawn(&mut self, p: &mut Self::Strand) -> Self::Strand {
+        (self.rec.spawn(&mut p.0), self.eng.spawn(&mut p.1))
+    }
+    fn sync(&mut self, s: &mut Self::Strand, children: Vec<Self::Strand>) {
+        let (rc, sc): (Vec<_>, Vec<_>) = children.into_iter().unzip();
+        self.rec.sync(&mut s.0, &rc);
+        self.eng.sync(&mut s.1, sc.iter());
+    }
+    fn create(&mut self, p: &mut Self::Strand) -> Self::Strand {
+        (self.rec.create(&mut p.0), self.eng.create(&mut p.1))
+    }
+    fn get(&mut self, s: &mut Self::Strand, done: Self::Strand) {
+        self.rec.get(&mut s.0, &done.0);
+        self.eng.get(&mut s.1, &done.1);
+    }
+    fn task_end(&mut self, s: &mut Self::Strand) {
+        self.rec.task_end(&mut s.0);
+        self.eng.task_end(&mut s.1);
+    }
+}
+
+// ----------------------------------------------------------------- F-Order
+
+struct FoSink<'a> {
+    eng: &'a FoReach,
+    rec: &'a Recorder,
+    accesses: Vec<(NodeId, sfrd_reach::StrandPos)>,
+    checks: Vec<Check>,
+}
+
+impl ProgramSink for FoSink<'_> {
+    type Strand = (RecStrand, FoStrand);
+
+    fn access(&mut self, s: &mut Self::Strand, addr: u64, write: bool) {
+        self.rec.access(&s.0, addr, write);
+        let cur = s.0.node;
+        for &(n, p) in &self.accesses {
+            self.checks.push((n, cur, self.eng.precedes(p, &s.1)));
+        }
+        self.accesses.push((cur, s.1.pos()));
+    }
+    fn spawn(&mut self, p: &mut Self::Strand) -> Self::Strand {
+        (self.rec.spawn(&mut p.0), self.eng.spawn(&mut p.1))
+    }
+    fn sync(&mut self, s: &mut Self::Strand, children: Vec<Self::Strand>) {
+        let (rc, sc): (Vec<_>, Vec<_>) = children.into_iter().unzip();
+        self.rec.sync(&mut s.0, &rc);
+        self.eng.sync(&mut s.1, sc.iter());
+    }
+    fn create(&mut self, p: &mut Self::Strand) -> Self::Strand {
+        (self.rec.create(&mut p.0), self.eng.create(&mut p.1))
+    }
+    fn get(&mut self, s: &mut Self::Strand, done: Self::Strand) {
+        self.rec.get(&mut s.0, &done.0);
+        self.eng.get(&mut s.1, &done.1);
+    }
+    fn task_end(&mut self, s: &mut Self::Strand) {
+        self.rec.task_end(&mut s.0);
+        self.eng.task_end(&mut s.1);
+    }
+}
+
+// --------------------------------------------------------------- MultiBags
+
+struct MbSink<'a> {
+    eng: MbReach,
+    rec: &'a Recorder,
+    accesses: Vec<(NodeId, sfrd_reach::MbPos)>,
+    checks: Vec<Check>,
+}
+
+impl ProgramSink for MbSink<'_> {
+    type Strand = (RecStrand, MbStrand);
+
+    fn access(&mut self, s: &mut Self::Strand, addr: u64, write: bool) {
+        self.rec.access(&s.0, addr, write);
+        let cur = s.0.node;
+        for i in 0..self.accesses.len() {
+            let (n, p) = self.accesses[i];
+            let r = self.eng.precedes(p, &s.1);
+            self.checks.push((n, cur, r));
+        }
+        self.accesses.push((cur, s.1.pos()));
+    }
+    fn spawn(&mut self, p: &mut Self::Strand) -> Self::Strand {
+        (self.rec.spawn(&mut p.0), self.eng.spawn(&mut p.1))
+    }
+    fn sync(&mut self, s: &mut Self::Strand, children: Vec<Self::Strand>) {
+        let (rc, sc): (Vec<_>, Vec<_>) = children.into_iter().unzip();
+        self.rec.sync(&mut s.0, &rc);
+        // gp flows into the continuation at the join (not at task return —
+        // an unsynced or escaping child's gets must stay invisible).
+        for c in &sc {
+            let gp = std::sync::Arc::clone(c.gp());
+            self.eng.absorb_gp(&mut s.1, &gp);
+        }
+        self.eng.sync(&mut s.1);
+    }
+    fn create(&mut self, p: &mut Self::Strand) -> Self::Strand {
+        (self.rec.create(&mut p.0), self.eng.create(&mut p.1))
+    }
+    fn get(&mut self, s: &mut Self::Strand, done: Self::Strand) {
+        self.rec.get(&mut s.0, &done.0);
+        self.eng.get(&mut s.1, &done.1);
+    }
+    fn task_end(&mut self, s: &mut Self::Strand) {
+        self.rec.task_end(&mut s.0);
+        self.eng.task_end(&mut s.1);
+    }
+    fn returned(&mut self, parent: &mut Self::Strand, child: &mut Self::Strand) {
+        self.eng.task_return(&mut parent.1, &child.1);
+    }
+}
+
+// ------------------------------------------------------------------ driver
+
+fn assert_checks_match_oracle(
+    name: &str,
+    prog: &GenProgram,
+    recorded: &sfrd_dag::RecordedProgram,
+    checks: &[Check],
+) {
+    recorded.validate().expect("generator must produce structured programs");
+    let oracle = ReachOracle::build(&recorded.dag, |k| k != EdgeKind::PspJoin);
+    for &(u, v, got) in checks {
+        let want = oracle.precedes_eq(u, v);
+        assert_eq!(
+            got, want,
+            "{name}: precedes({u}, {v}) = {got}, oracle says {want}\nprogram: {prog:?}\ndag:\n{}",
+            recorded.dag.to_dot()
+        );
+    }
+}
+
+fn run_sf(prog: &GenProgram) {
+    let (rec, rec_root) = Recorder::new();
+    let (eng, sf_root) = SfReach::new();
+    let mut sink = SfSink { eng: &eng, rec: &rec, accesses: vec![], checks: vec![] };
+    let mut root = (rec_root, sf_root);
+    replay(prog, &mut sink, &mut root);
+    let checks = std::mem::take(&mut sink.checks);
+    let recorded = rec.finish();
+    assert_checks_match_oracle("sf-order", prog, &recorded, &checks);
+}
+
+fn run_fo(prog: &GenProgram) {
+    let (rec, rec_root) = Recorder::new();
+    let (eng, fo_root) = FoReach::new();
+    let mut sink = FoSink { eng: &eng, rec: &rec, accesses: vec![], checks: vec![] };
+    let mut root = (rec_root, fo_root);
+    replay(prog, &mut sink, &mut root);
+    let checks = std::mem::take(&mut sink.checks);
+    let recorded = rec.finish();
+    assert_checks_match_oracle("f-order", prog, &recorded, &checks);
+}
+
+fn run_mb(prog: &GenProgram) {
+    let (rec, rec_root) = Recorder::new();
+    let (eng, mb_root) = MbReach::new();
+    let mut sink = MbSink { eng, rec: &rec, accesses: vec![], checks: vec![] };
+    let mut root = (rec_root, mb_root);
+    replay(prog, &mut sink, &mut root);
+    let checks = std::mem::take(&mut sink.checks);
+    let recorded = rec.finish();
+    assert_checks_match_oracle("multibags", prog, &recorded, &checks);
+}
+
+fn params() -> GenParams {
+    GenParams { max_tasks: 24, max_body_len: 6, addr_space: 4, ..Default::default() }
+}
+
+/// Build a program from a seed (proptest shrinks over seeds).
+fn prog_from_seed(seed: u64) -> GenProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    GenProgram::random(&mut rng, &params())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    #[test]
+    fn sf_order_matches_oracle(seed in any::<u64>()) {
+        run_sf(&prog_from_seed(seed));
+    }
+
+    #[test]
+    fn f_order_matches_oracle(seed in any::<u64>()) {
+        run_fo(&prog_from_seed(seed));
+    }
+
+    #[test]
+    fn multibags_matches_oracle(seed in any::<u64>()) {
+        run_mb(&prog_from_seed(seed));
+    }
+}
+
+/// Fixed-seed smoke sweep (fast, deterministic, wider than proptest cases).
+#[test]
+fn all_engines_fixed_seed_sweep() {
+    for seed in 0..200u64 {
+        let prog = prog_from_seed(seed);
+        run_sf(&prog);
+        run_fo(&prog);
+        run_mb(&prog);
+    }
+}
+
+/// Deep nesting stress: a create chain 30 futures deep with gets unwinding.
+#[test]
+fn deep_create_chain() {
+    use sfrd_dag::generator::{Body, Op};
+    fn chain(depth: usize) -> Body {
+        let mut ops = vec![Op::Work { addr: depth as u64, write: true }];
+        if depth > 0 {
+            ops.push(Op::Create(chain(depth - 1)));
+            ops.push(Op::Work { addr: 0, write: false });
+            ops.push(Op::Get(0));
+            ops.push(Op::Work { addr: depth as u64, write: true });
+        }
+        Body(ops)
+    }
+    let prog = GenProgram { root: chain(30) };
+    run_sf(&prog);
+    run_fo(&prog);
+    run_mb(&prog);
+}
+
+/// Wide fan-out stress: 40 sibling futures, half gotten, half escaping.
+#[test]
+fn wide_future_fanout() {
+    use sfrd_dag::generator::{Body, Op};
+    let mut ops = Vec::new();
+    for i in 0..40u64 {
+        ops.push(Op::Create(Body(vec![Op::Work { addr: i % 5, write: true }])));
+    }
+    for i in (0..40usize).step_by(2) {
+        ops.push(Op::Get(i));
+        ops.push(Op::Work { addr: (i as u64) % 5, write: false });
+    }
+    let prog = GenProgram { root: Body(ops) };
+    run_sf(&prog);
+    run_fo(&prog);
+    run_mb(&prog);
+}

@@ -1,0 +1,595 @@
+//! The work-stealing parallel runtime.
+//!
+//! Stands in for the paper's extended Cilk-F runtime (DESIGN.md §6): a
+//! fixed pool of workers with per-worker LIFO deques (crossbeam-deque),
+//! child-stealing (`spawn`/`create` push the child; the continuation keeps
+//! running), and *work-helping* joins — a task blocked at `sync`/`get`
+//! executes other ready tasks instead of sleeping, so join chains never
+//! deadlock (the waited-on task is either in some deque, where the waiter
+//! can claim it, or running on another worker, which makes progress).
+//!
+//! Scoped soundness: [`Runtime::run`] does not return until the global
+//! pending-job count reaches zero — including *escaping futures* that
+//! outlive their creating task — so task closures may safely borrow from
+//! the caller's stack (`'env`). Internally job boxes erase that lifetime;
+//! the quiescence barrier is what makes the erasure sound.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::hooks::{Cx, TaskHooks};
+
+/// A ready task. Lifetime-erased; see module docs.
+type Job<H> = Box<dyn FnOnce(&WorkerCore<H>) + Send>;
+
+/// State shared by all workers and the scope owner.
+struct Shared<H: TaskHooks> {
+    injector: Injector<Job<H>>,
+    stealers: Box<[Stealer<Job<H>>]>,
+    /// Jobs pushed but not yet finished (queued + running).
+    pending: AtomicUsize,
+    /// Threads currently blocked in [`Shared::wait_notification`].
+    parked: AtomicUsize,
+    epoch: Mutex<u64>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    panicked: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Tasks executed (lifetime of the pool).
+    tasks_run: AtomicU64,
+    /// Tasks obtained by stealing (from the injector or a sibling deque).
+    steals: AtomicU64,
+}
+
+impl<H: TaskHooks> Shared<H> {
+    /// Wake sleepers if any are registered. Cheap when nobody sleeps.
+    #[inline]
+    fn notify(&self) {
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            self.force_notify();
+        }
+    }
+
+    fn force_notify(&self) {
+        let mut e = self.epoch.lock();
+        *e = e.wrapping_add(1);
+        self.cv.notify_all();
+    }
+
+    /// Sleep until notified or a short timeout elapses (the timeout bounds
+    /// the register-vs-notify race without a handshake).
+    fn wait_notification(&self) {
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut e = self.epoch.lock();
+            self.cv.wait_for(&mut e, Duration::from_micros(200));
+        }
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        self.panicked.store(true, Ordering::Release);
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// A worker's execution engine: its deque plus the shared state.
+pub struct WorkerCore<H: TaskHooks> {
+    shared: Arc<Shared<H>>,
+    local: Deque<Job<H>>,
+    index: usize,
+}
+
+impl<H: TaskHooks> WorkerCore<H> {
+    /// Local pop, then injector, then round-robin steal.
+    fn find_job(&self) -> Option<Job<H>> {
+        if let Some(j) = self.local.pop() {
+            return Some(j);
+        }
+        loop {
+            match self.shared.injector.steal_batch_and_pop(&self.local) {
+                Steal::Success(j) => {
+                    self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(j);
+                }
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let n = self.shared.stealers.len();
+        for k in 1..=n {
+            let i = (self.index + k) % n;
+            if i == self.index {
+                continue;
+            }
+            loop {
+                match self.shared.stealers[i].steal() {
+                    Steal::Success(j) => {
+                        self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(j);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn push(&self, job: Job<H>) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.local.push(job);
+        self.shared.notify();
+    }
+
+    /// Run one job with panic capture and completion bookkeeping.
+    fn run_job(&self, job: Job<H>) {
+        self.shared.tasks_run.fetch_add(1, Ordering::Relaxed);
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| job(self))) {
+            self.shared.record_panic(p);
+        }
+        self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+        self.shared.notify();
+    }
+
+    /// Work-helping wait: run other tasks until `pred` holds.
+    fn help_until(&self, pred: impl Fn() -> bool) {
+        loop {
+            if pred() {
+                return;
+            }
+            if self.shared.panicked.load(Ordering::Acquire) {
+                // Unwind this task too; the scope owner rethrows the
+                // original payload.
+                panic!("sfrd-runtime: sibling task panicked");
+            }
+            match self.find_job() {
+                Some(job) => self.run_job(job),
+                None => self.shared.wait_notification(),
+            }
+        }
+    }
+}
+
+fn worker_loop<H: TaskHooks>(core: WorkerCore<H>) {
+    loop {
+        match core.find_job() {
+            Some(job) => core.run_job(job),
+            None => {
+                if core.shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                core.shared.wait_notification();
+            }
+        }
+    }
+}
+
+/// Completion slot for a spawned child: final detector strand.
+struct SpawnSlot<S> {
+    done: AtomicBool,
+    strand: Mutex<Option<S>>,
+}
+
+/// Completion slot for a future: value + final detector strand.
+struct FutSlot<T, S> {
+    done: AtomicBool,
+    payload: Mutex<Option<(T, S)>>,
+}
+
+/// Single-touch handle to a created future. `get` consumes it — the
+/// structured-future restriction (a) holds by construction; restriction (b)
+/// holds because the handle value itself only flows along dag edges out of
+/// the create continuation (Rust ownership; no aliasing).
+pub struct FutureHandle<'scope, T, S> {
+    slot: Arc<FutSlot<T, S>>,
+    _scope: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+// SAFETY: the handle is only a reference to the slot; T and S move across
+// threads exactly once each.
+unsafe impl<T: Send, S: Send> Send for FutureHandle<'_, T, S> {}
+
+/// Per-task execution context of the parallel runtime.
+pub struct ParCtx<'scope, H: TaskHooks> {
+    core: *const WorkerCore<H>,
+    hooks: Arc<H>,
+    strand: H::Strand,
+    children: Vec<Arc<SpawnSlot<H::Strand>>>,
+    _scope: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope, H: TaskHooks> ParCtx<'scope, H> {
+    fn new(core: &WorkerCore<H>, hooks: Arc<H>, strand: H::Strand) -> Self {
+        Self { core, hooks, strand, children: Vec::new(), _scope: PhantomData }
+    }
+
+    #[inline]
+    fn core(&self) -> &WorkerCore<H> {
+        // SAFETY: a ParCtx only exists during its task's execution on the
+        // worker that owns `core`; the pointer cannot dangle.
+        unsafe { &*self.core }
+    }
+
+    /// Implicit sync + task end; yields the final strand.
+    fn finish_task(mut self) -> H::Strand {
+        if !self.children.is_empty() {
+            <Self as Cx<'scope>>::sync(&mut self);
+        }
+        self.hooks.on_task_end(&mut self.strand);
+        self.strand
+    }
+
+    /// The detector instance driving this execution.
+    pub fn hooks_arc(&self) -> &Arc<H> {
+        &self.hooks
+    }
+}
+
+/// Erase the scope lifetime from a job box. Sound because `Runtime::run`
+/// blocks until every job has completed (see module docs).
+unsafe fn erase_job<'scope, H: TaskHooks>(
+    job: Box<dyn FnOnce(&WorkerCore<H>) + Send + 'scope>,
+) -> Job<H> {
+    unsafe { std::mem::transmute(job) }
+}
+
+impl<'scope, H: TaskHooks> Cx<'scope> for ParCtx<'scope, H> {
+    type Hooks = H;
+    type Handle<T: Send + 'scope> = FutureHandle<'scope, T, H::Strand>;
+
+    fn spawn<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut Self) + Send + 'scope,
+    {
+        let child_strand = self.hooks.on_spawn(&mut self.strand);
+        let slot = Arc::new(SpawnSlot { done: AtomicBool::new(false), strand: Mutex::new(None) });
+        self.children.push(Arc::clone(&slot));
+        let hooks = Arc::clone(&self.hooks);
+        let job: Box<dyn FnOnce(&WorkerCore<H>) + Send + 'scope> = Box::new(move |core| {
+            let mut ctx = ParCtx::new(core, hooks, child_strand);
+            f(&mut ctx);
+            let strand = ctx.finish_task();
+            *slot.strand.lock() = Some(strand);
+            slot.done.store(true, Ordering::Release);
+        });
+        self.core().push(unsafe { erase_job(job) });
+    }
+
+    fn sync(&mut self) {
+        let children = std::mem::take(&mut self.children);
+        self.core().help_until(|| children.iter().all(|c| c.done.load(Ordering::Acquire)));
+        let strands =
+            children.iter().map(|c| c.strand.lock().take().expect("child strand missing")).collect();
+        self.hooks.on_sync(&mut self.strand, strands);
+    }
+
+    fn create<T, F>(&mut self, f: F) -> Self::Handle<T>
+    where
+        T: Send + 'scope,
+        F: FnOnce(&mut Self) -> T + Send + 'scope,
+    {
+        let child_strand = self.hooks.on_create(&mut self.strand);
+        let slot = Arc::new(FutSlot { done: AtomicBool::new(false), payload: Mutex::new(None) });
+        let job_slot = Arc::clone(&slot);
+        let hooks = Arc::clone(&self.hooks);
+        let job: Box<dyn FnOnce(&WorkerCore<H>) + Send + 'scope> = Box::new(move |core| {
+            let mut ctx = ParCtx::new(core, hooks, child_strand);
+            let value = f(&mut ctx);
+            let strand = ctx.finish_task();
+            *job_slot.payload.lock() = Some((value, strand));
+            job_slot.done.store(true, Ordering::Release);
+        });
+        self.core().push(unsafe { erase_job(job) });
+        FutureHandle { slot, _scope: PhantomData }
+    }
+
+    fn get<T: Send + 'scope>(&mut self, h: Self::Handle<T>) -> T {
+        self.core().help_until(|| h.slot.done.load(Ordering::Acquire));
+        let (value, done_strand) = h.slot.payload.lock().take().expect("future payload missing");
+        self.hooks.on_get(&mut self.strand, &done_strand);
+        value
+    }
+
+    #[inline]
+    fn hook_access(&mut self) -> (&H, &mut H::Strand) {
+        (&self.hooks, &mut self.strand)
+    }
+}
+
+/// Scheduler statistics (diagnostics and EXPERIMENTS reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed over the pool's lifetime.
+    pub tasks_run: u64,
+    /// Tasks obtained by stealing (injector or sibling deque).
+    pub steals: u64,
+}
+
+/// A persistent pool of workers executing structured-future programs.
+pub struct Runtime<H: TaskHooks> {
+    shared: Arc<Shared<H>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    run_guard: Mutex<()>,
+    workers: usize,
+}
+
+impl<H: TaskHooks> Runtime<H> {
+    /// Spin up `workers` worker threads (`P` in the paper's bounds).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let deques: Vec<Deque<Job<H>>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+        let stealers: Box<[_]> = deques.iter().map(Deque::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            tasks_run: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let threads = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let core = WorkerCore { shared: Arc::clone(&shared), local, index };
+                std::thread::Builder::new()
+                    .name(format!("sfrd-worker-{index}"))
+                    .spawn(move || worker_loop(core))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Self { shared, threads, run_guard: Mutex::new(()), workers }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Scheduler statistics over the pool's lifetime.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks_run: self.shared.tasks_run.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Execute `f` as the root task and block until the whole computation —
+    /// including escaping futures — has quiesced. One scope at a time.
+    ///
+    /// # Panics
+    /// Re-raises the first panic of any task.
+    pub fn run<'env, T, F>(&self, hooks: Arc<H>, f: F) -> T
+    where
+        T: Send + 'env,
+        F: FnOnce(&mut ParCtx<'env, H>) -> T + Send + 'env,
+        H: 'env,
+    {
+        let _guard = self.run_guard.lock();
+        self.shared.panicked.store(false, Ordering::Release);
+        *self.shared.panic.lock() = None;
+
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let root_strand = hooks.root();
+        {
+            let result = Arc::clone(&result);
+            let job: Box<dyn FnOnce(&WorkerCore<H>) + Send + 'env> = Box::new(move |core| {
+                let mut ctx = ParCtx::new(core, hooks, root_strand);
+                let out = f(&mut ctx);
+                ctx.finish_task();
+                *result.lock() = Some(out);
+            });
+            self.shared.pending.fetch_add(1, Ordering::SeqCst);
+            self.shared.injector.push(unsafe { erase_job(job) });
+            self.shared.force_notify();
+        }
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            self.shared.wait_notification();
+        }
+        if let Some(p) = self.shared.panic.lock().take() {
+            std::panic::resume_unwind(p);
+        }
+        let out = result.lock().take().expect("root task produced no result");
+        out
+    }
+}
+
+impl<H: TaskHooks> Drop for Runtime<H> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.force_notify();
+        for t in self.threads.drain(..) {
+            // Keep nudging sleepers: a worker may re-park between our
+            // notify and its shutdown check.
+            while !t.is_finished() {
+                self.shared.force_notify();
+                std::thread::yield_now();
+            }
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NullHooks;
+    use std::sync::atomic::AtomicU64;
+
+    fn rt(workers: usize) -> Runtime<NullHooks> {
+        Runtime::new(workers)
+    }
+
+    #[test]
+    fn fib_spawn_sync() {
+        fn fib<'s, C: Cx<'s>>(ctx: &mut C, n: u64, out: &'s AtomicU64) {
+            if n < 2 {
+                out.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+            ctx.spawn(move |c| fib(c, n - 1, out));
+            fib(ctx, n - 2, out);
+            ctx.sync();
+        }
+        for workers in [1, 2, 4] {
+            let rt = rt(workers);
+            let out = AtomicU64::new(0);
+            rt.run(Arc::new(NullHooks), |ctx| fib(ctx, 15, &out));
+            assert_eq!(out.load(Ordering::Relaxed), 610, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn futures_fib() {
+        fn fib<'s, C: Cx<'s>>(ctx: &mut C, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let h = ctx.create(move |c| fib(c, n - 1));
+            let b = fib(ctx, n - 2);
+            ctx.get(h) + b
+        }
+        let rt = rt(3);
+        let out = rt.run(Arc::new(NullHooks), |ctx| fib(ctx, 16));
+        assert_eq!(out, 987);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let data: Vec<u64> = (0..1000).collect();
+        let rt = rt(2);
+        let total = rt.run(Arc::new(NullHooks), |ctx| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let h = ctx.create(move |_| a.iter().sum::<u64>());
+            let right: u64 = b.iter().sum();
+            ctx.get(h) + right
+        });
+        assert_eq!(total, data.iter().sum());
+    }
+
+    #[test]
+    fn escaping_future_completes_before_scope_ends() {
+        static RAN: AtomicBool = AtomicBool::new(false);
+        let rt = rt(2);
+        rt.run(Arc::new(NullHooks), |ctx| {
+            // Create and deliberately drop the handle: the future escapes.
+            let h = ctx.create(|_| {
+                std::thread::sleep(Duration::from_millis(20));
+                RAN.store(true, Ordering::SeqCst);
+                1u8
+            });
+            drop(h);
+        });
+        assert!(RAN.load(Ordering::SeqCst), "scope must wait for escaping futures");
+    }
+
+    #[test]
+    fn reuse_runtime_across_runs() {
+        let rt = rt(2);
+        for i in 0..10u64 {
+            let out = rt.run(Arc::new(NullHooks), move |ctx| {
+                let h = ctx.create(move |_| i * 2);
+                ctx.get(h)
+            });
+            assert_eq!(out, i * 2);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let rt = rt(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.run(Arc::new(NullHooks), |ctx| {
+                ctx.spawn(|_| panic!("boom"));
+                ctx.sync();
+            });
+        }));
+        assert!(res.is_err());
+        // Runtime stays usable afterwards.
+        let ok = rt.run(Arc::new(NullHooks), |_| 7u8);
+        assert_eq!(ok, 7);
+    }
+
+    #[test]
+    fn hooks_receive_events_in_parallel() {
+        use std::sync::atomic::AtomicUsize;
+        #[derive(Default)]
+        struct Count {
+            spawns: AtomicUsize,
+            creates: AtomicUsize,
+            syncs: AtomicUsize,
+            gets: AtomicUsize,
+            ends: AtomicUsize,
+        }
+        impl TaskHooks for Count {
+            type Strand = ();
+            fn root(&self) {}
+            fn on_spawn(&self, _: &mut ()) {
+                self.spawns.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_create(&self, _: &mut ()) {
+                self.creates.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_sync(&self, _: &mut (), ch: Vec<()>) {
+                assert!(!ch.is_empty() || true);
+                self.syncs.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_get(&self, _: &mut (), _: &()) {
+                self.gets.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_task_end(&self, _: &mut ()) {
+                self.ends.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let rt: Runtime<Count> = Runtime::new(3);
+        let hooks = Arc::new(Count::default());
+        let h2 = Arc::clone(&hooks);
+        rt.run(h2, |ctx| {
+            for _ in 0..4 {
+                ctx.spawn(|c| {
+                    let h = c.create(|_| 3u8);
+                    let _ = c.get(h);
+                });
+            }
+            ctx.sync();
+        });
+        assert_eq!(hooks.spawns.load(Ordering::Relaxed), 4);
+        assert_eq!(hooks.creates.load(Ordering::Relaxed), 4);
+        assert_eq!(hooks.gets.load(Ordering::Relaxed), 4);
+        // 5 tasks end + 4 futures end = 9... spawned children: 4, futures: 4, root: 1.
+        assert_eq!(hooks.ends.load(Ordering::Relaxed), 9);
+        // Explicit root sync; spawned children each sync implicitly? They
+        // have no children, so only the root's explicit sync fires.
+        assert_eq!(hooks.syncs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn deep_nesting_does_not_deadlock() {
+        fn nest<'s, C: Cx<'s>>(ctx: &mut C, d: u32) -> u32 {
+            if d == 0 {
+                return 0;
+            }
+            let h = ctx.create(move |c| nest(c, d - 1));
+            ctx.get(h) + 1
+        }
+        let rt = rt(2);
+        let out = rt.run(Arc::new(NullHooks), |ctx| nest(ctx, 200));
+        assert_eq!(out, 200);
+    }
+}

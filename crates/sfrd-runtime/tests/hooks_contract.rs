@@ -1,0 +1,169 @@
+//! The hooks contract (documented on `TaskHooks`), verified under the
+//! parallel runtime with an auditing hooks implementation: every task gets
+//! exactly one `task_end`; `on_sync` receives exactly the children spawned
+//! since the task's last sync; `on_get` fires at most once per future.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sfrd_runtime::{Cx, Runtime, TaskHooks};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Kind {
+    Spawned,
+    Created,
+    Root,
+}
+
+#[derive(Default)]
+struct Audit {
+    next: AtomicU64,
+    /// strand id -> (kind, ends seen, synced?, gotten?)
+    state: Mutex<HashMap<u64, (Kind, u32, bool, bool)>>,
+}
+
+/// Strand: (own id, ids of children spawned since last sync).
+type S = (u64, Vec<u64>);
+
+impl Audit {
+    fn fresh(&self, kind: Kind) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.state.lock().insert(id, (kind, 0, false, false));
+        id
+    }
+}
+
+impl TaskHooks for Audit {
+    type Strand = S;
+
+    fn root(&self) -> S {
+        (self.fresh(Kind::Root), Vec::new())
+    }
+    fn on_spawn(&self, parent: &mut S) -> S {
+        let id = self.fresh(Kind::Spawned);
+        parent.1.push(id);
+        (id, Vec::new())
+    }
+    fn on_create(&self, _parent: &mut S) -> S {
+        (self.fresh(Kind::Created), Vec::new())
+    }
+    fn on_sync(&self, s: &mut S, children: Vec<S>) {
+        let got: Vec<u64> = children.iter().map(|c| c.0).collect();
+        let mut expect = std::mem::take(&mut s.1);
+        expect.sort_unstable();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        assert_eq!(got_sorted, expect, "sync must join exactly the un-synced children");
+        let mut st = self.state.lock();
+        for c in got {
+            let e = st.get_mut(&c).unwrap();
+            assert_eq!(e.0, Kind::Spawned, "sync never receives futures");
+            assert_eq!(e.1, 1, "child must have ended before its sync");
+            assert!(!e.2, "child synced twice");
+            e.2 = true;
+        }
+    }
+    fn on_get(&self, _s: &mut S, done: &S) {
+        let mut st = self.state.lock();
+        let e = st.get_mut(&done.0).unwrap();
+        assert_eq!(e.0, Kind::Created, "get only consumes futures");
+        assert_eq!(e.1, 1, "future must have ended before its get");
+        assert!(!e.3, "future gotten twice (single-touch violated)");
+        e.3 = true;
+    }
+    fn on_task_end(&self, s: &mut S) {
+        assert!(s.1.is_empty(), "implicit sync must run before task end");
+        let mut st = self.state.lock();
+        let e = st.get_mut(&s.0).unwrap();
+        e.1 += 1;
+        assert_eq!(e.1, 1, "task ended twice");
+    }
+}
+
+fn run_audited(workers: usize, body: impl for<'e> FnOnce(&mut sfrd_runtime::ParCtx<'e, Audit>) + Send) -> Arc<Audit> {
+    let hooks = Arc::new(Audit::default());
+    let rt: Runtime<Audit> = Runtime::new(workers);
+    rt.run(Arc::clone(&hooks), body);
+    drop(rt);
+    // Post-conditions: every strand ended exactly once; every spawned
+    // strand was synced.
+    let st = hooks.state.lock();
+    for (id, (kind, ends, synced, _)) in st.iter() {
+        assert_eq!(*ends, 1, "strand {id} ended {ends} times");
+        if *kind == Kind::Spawned {
+            assert!(*synced, "spawned strand {id} never synced");
+        }
+    }
+    drop(st);
+    hooks
+}
+
+#[test]
+fn contract_holds_for_mixed_program() {
+    let hooks = run_audited(3, |ctx| {
+        // Two sync blocks with interleaved creates.
+        let h1 = ctx.create(|c| {
+            c.spawn(|_| {});
+            c.sync();
+            1u8
+        });
+        ctx.spawn(|_| {});
+        ctx.spawn(|c| {
+            let hh = c.create(|_| 7u8);
+            assert_eq!(c.get(hh), 7);
+        });
+        ctx.sync();
+        let h2 = ctx.create(|_| 2u8);
+        ctx.spawn(|_| {});
+        // Implicit sync at scope end must join the last spawn.
+        assert_eq!(ctx.get(h1), 1);
+        assert_eq!(ctx.get(h2), 2);
+    });
+    let st = hooks.state.lock();
+    let creates = st.values().filter(|e| e.0 == Kind::Created).count();
+    let gotten = st.values().filter(|e| e.3).count();
+    assert_eq!(creates, 3);
+    assert_eq!(gotten, 3);
+}
+
+#[test]
+fn contract_holds_with_escaping_futures() {
+    let hooks = run_audited(2, |ctx| {
+        for _ in 0..10 {
+            let h = ctx.create(|_| 0u8);
+            drop(h); // escapes: no get ever
+        }
+        ctx.spawn(|_| {});
+        ctx.sync();
+    });
+    let st = hooks.state.lock();
+    let gotten = st.values().filter(|e| e.3).count();
+    assert_eq!(gotten, 0, "no future was gotten");
+    let created = st.values().filter(|e| e.0 == Kind::Created).count();
+    assert_eq!(created, 10, "but all ten ran to completion");
+}
+
+#[test]
+fn contract_holds_under_repeated_random_load() {
+    for round in 0..5u64 {
+        run_audited(4, move |ctx| {
+            fn go<'s, C: Cx<'s>>(ctx: &mut C, depth: u64, salt: u64) {
+                if depth == 0 {
+                    return;
+                }
+                if (salt ^ depth) % 3 == 0 {
+                    let h = ctx.create(move |c| go(c, depth - 1, salt.wrapping_mul(31)));
+                    go(ctx, depth - 1, salt.wrapping_add(17));
+                    ctx.get(h);
+                } else {
+                    ctx.spawn(move |c| go(c, depth - 1, salt.wrapping_mul(13)));
+                    go(ctx, depth - 1, salt.wrapping_add(7));
+                    ctx.sync();
+                }
+            }
+            go(ctx, 7, round);
+        });
+    }
+}

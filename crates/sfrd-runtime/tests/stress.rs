@@ -1,0 +1,169 @@
+//! Runtime stress tests: scheduler correctness under load, mixed
+//! construct patterns, and pathological shapes (wide fan-out, deep
+//! chains, futures crossing task boundaries, panics mid-flight).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sfrd_runtime::{run_sequential, Cx, NullHooks, Runtime};
+
+fn rt(workers: usize) -> Runtime<NullHooks> {
+    Runtime::new(workers)
+}
+
+/// Wide fan-out: thousands of leaf tasks joined by one sync.
+#[test]
+fn wide_fanout_spawns() {
+    let pool = rt(4);
+    let counter = AtomicU64::new(0);
+    pool.run(Arc::new(NullHooks), |ctx| {
+        for _ in 0..5000 {
+            ctx.spawn(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        ctx.sync();
+        assert_eq!(counter.load(Ordering::Relaxed), 5000);
+    });
+    assert!(pool.stats().tasks_run >= 5000);
+}
+
+/// Wide fan-out with futures, gotten in reverse creation order.
+#[test]
+fn futures_gotten_in_reverse() {
+    let pool = rt(3);
+    let total = pool.run(Arc::new(NullHooks), |ctx| {
+        let handles: Vec<_> = (0..2000u64).map(|i| ctx.create(move |_| i)).collect();
+        handles.into_iter().rev().map(|h| ctx.get(h)).sum::<u64>()
+    });
+    assert_eq!(total, (0..2000).sum());
+}
+
+/// A future chain where each future creates the next (escaping upward).
+#[test]
+fn future_creates_future_chain() {
+    fn chain<'s, C: Cx<'s>>(ctx: &mut C, depth: u64) -> u64 {
+        if depth == 0 {
+            return 0;
+        }
+        let h = ctx.create(move |c| chain(c, depth - 1));
+        1 + ctx.get(h)
+    }
+    let pool = rt(2);
+    let d = pool.run(Arc::new(NullHooks), |ctx| chain(ctx, 500));
+    assert_eq!(d, 500);
+}
+
+/// Handles passed into spawned children (structured: the spawn is
+/// downstream of the create's continuation).
+#[test]
+fn handle_moved_into_spawned_child() {
+    let pool = rt(3);
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    pool.run(Arc::new(NullHooks), move |ctx| {
+        let h = ctx.create(|_| 21u64);
+        let out = Arc::clone(&out2);
+        ctx.spawn(move |c| {
+            let v = c.get(h);
+            out.store(v * 2, Ordering::Relaxed);
+        });
+        ctx.sync();
+    });
+    assert_eq!(out.load(Ordering::Relaxed), 42);
+}
+
+/// Mixed recursion: spawns and creates interleaved at every level.
+#[test]
+fn mixed_spawn_create_recursion() {
+    fn go<'s, C: Cx<'s>>(ctx: &mut C, depth: u32, acc: &'s AtomicU64) {
+        if depth == 0 {
+            acc.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let h = ctx.create(move |c| {
+            go(c, depth - 1, acc);
+            depth as u64
+        });
+        ctx.spawn(move |c| go(c, depth - 1, acc));
+        go(ctx, depth - 1, acc);
+        ctx.sync();
+        assert_eq!(ctx.get(h), depth as u64);
+    }
+    for workers in [1, 4] {
+        let pool = rt(workers);
+        let acc = AtomicU64::new(0);
+        pool.run(Arc::new(NullHooks), |ctx| go(ctx, 8, &acc));
+        assert_eq!(acc.load(Ordering::Relaxed), 3u64.pow(8), "workers={workers}");
+    }
+}
+
+/// Sequential and parallel runtimes compute identical results on the same
+/// mixed program.
+#[test]
+fn seq_and_par_agree() {
+    fn compute<'s, C: Cx<'s>>(ctx: &mut C, n: u64) -> u64 {
+        if n < 2 {
+            return 1;
+        }
+        let h = ctx.create(move |c| compute(c, n - 1));
+        let b = compute(ctx, n - 2);
+        ctx.get(h).wrapping_mul(3).wrapping_add(b)
+    }
+    let serial = run_sequential(&NullHooks, |ctx| compute(ctx, 14));
+    let pool = rt(4);
+    let parallel = pool.run(Arc::new(NullHooks), |ctx| compute(ctx, 14));
+    assert_eq!(serial, parallel);
+}
+
+/// Panic in a deeply nested future unwinds cleanly and the pool survives.
+#[test]
+fn nested_panic_recovery() {
+    let pool = rt(3);
+    for round in 0..5 {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(Arc::new(NullHooks), |ctx| {
+                let h = ctx.create(|c| {
+                    let inner = c.create(|_| -> u32 { panic!("deep boom") });
+                    c.get(inner)
+                });
+                ctx.get(h)
+            })
+        }));
+        assert!(r.is_err(), "round {round}");
+        // Pool still functional.
+        let ok = pool.run(Arc::new(NullHooks), |_| round);
+        assert_eq!(ok, round);
+    }
+}
+
+/// Steal accounting: with several workers and a sequential root pushing
+/// work, someone must steal.
+#[test]
+fn steals_happen_under_parallel_load() {
+    let pool = rt(4);
+    pool.run(Arc::new(NullHooks), |ctx| {
+        for _ in 0..200 {
+            ctx.spawn(|_| {
+                std::hint::black_box((0..10_000u64).sum::<u64>());
+            });
+        }
+        ctx.sync();
+    });
+    let stats = pool.stats();
+    assert!(stats.tasks_run >= 200);
+    assert!(stats.steals > 0, "root job enters via the injector, so ≥1 steal");
+}
+
+/// Many back-to-back scopes on one pool (allocation hygiene).
+#[test]
+fn repeated_scopes_do_not_leak_state() {
+    let pool = rt(2);
+    for i in 0..200u64 {
+        let got = pool.run(Arc::new(NullHooks), move |ctx| {
+            let h = ctx.create(move |_| i);
+            ctx.get(h)
+        });
+        assert_eq!(got, i);
+    }
+}

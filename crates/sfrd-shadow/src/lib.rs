@@ -1,0 +1,407 @@
+//! # sfrd-shadow — access-history shadow memory
+//!
+//! The second half of an on-the-fly race detector (§3.5, §4): for every
+//! memory location, remember enough previous accessors that a later
+//! conflicting access can be checked against them.
+//!
+//! Layout follows the paper's implementation: a sharded (two-level) table
+//! hashed by address with **fine-grained locking** — each lock covers a
+//! shard of 16-byte granules. The paper observes that the sheer volume of
+//! these lock acquisitions, one per instrumented access, dominates the
+//! `full`-configuration overhead of both parallel detectors; this crate
+//! reproduces that cost structure (and the `reach` configuration simply
+//! never calls in here).
+//!
+//! Two reader policies (selected per detector run):
+//!
+//! * [`ReaderPolicy::All`] — keep every reader since the last write (what
+//!   F-Order needs, and what the paper's SF-Order implementation ships,
+//!   §4 "Implementation Overview");
+//! * [`ReaderPolicy::PerFutureLR`] — the §3.5 bound: per (location,
+//!   future) only the *leftmost* and *rightmost* readers, ≤ 2k per
+//!   location in total (Lemmas 3.10/3.11).
+//!
+//! The entry type is generic in the position type `P` (each reachability
+//! engine has its own); order comparisons are injected as closures so this
+//! crate stays engine-agnostic.
+//!
+//! ```
+//! use sfrd_shadow::{AccessHistory, ReaderPolicy};
+//!
+//! // Positions are detector-specific; here, plain (eng, heb) pairs.
+//! let h: AccessHistory<(u32, u32)> = AccessHistory::with_policy(ReaderPolicy::All);
+//! h.locked(0x1000, |entry| {
+//!     assert!(entry.writer.is_none());
+//!     entry.readers.record(
+//!         0,
+//!         (1, 2),
+//!         |a, b| a.0 < b.0,                    // English order
+//!         |a, b| a.1 < b.1,                    // Hebrew order
+//!         |a, b| a.0 < b.0 && a.1 < b.1,       // precedes
+//!     );
+//!     entry.begin_write_epoch((3, 3));
+//!     assert!(entry.readers.is_empty());
+//! });
+//! assert_eq!(h.lock_ops(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Multiplicative address hasher (locally implemented; see DESIGN.md §6).
+#[derive(Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0.rotate_left(5) ^ i).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
+
+/// Which readers to retain per location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReaderPolicy {
+    /// All readers since the last write.
+    All,
+    /// Leftmost + rightmost reader per future (the 2k bound of §3.5).
+    PerFutureLR,
+}
+
+/// Retained readers of one location.
+#[derive(Debug, Clone)]
+pub enum Readers<P> {
+    /// Every reader since the last write.
+    All(Vec<P>),
+    /// `(future, leftmost, rightmost)` triples.
+    PerFuture(Vec<(u32, P, P)>),
+}
+
+impl<P: Copy> Readers<P> {
+    fn new(policy: ReaderPolicy) -> Self {
+        match policy {
+            ReaderPolicy::All => Readers::All(Vec::new()),
+            ReaderPolicy::PerFutureLR => Readers::PerFuture(Vec::new()),
+        }
+    }
+
+    /// Iterate the retained readers (lr pairs may repeat a reader).
+    pub fn for_each(&self, mut f: impl FnMut(P)) {
+        match self {
+            Readers::All(v) => v.iter().copied().for_each(&mut f),
+            Readers::PerFuture(v) => {
+                for &(_, l, r) in v {
+                    f(l);
+                    f(r);
+                }
+            }
+        }
+    }
+
+    /// Number of retained reader slots.
+    pub fn len(&self) -> usize {
+        match self {
+            Readers::All(v) => v.len(),
+            Readers::PerFuture(v) => v.len() * 2,
+        }
+    }
+
+    /// No readers retained?
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Readers::All(v) => v.is_empty(),
+            Readers::PerFuture(v) => v.is_empty(),
+        }
+    }
+
+    /// Record a reader. `future` is the reader's future id. For the
+    /// per-future policy, the Mellor-Crummey update rule is applied to the
+    /// (leftmost, rightmost) pair:
+    ///
+    /// * a slot whose stored reader *precedes* the new one advances to it
+    ///   (a serial successor subsumes its ancestor for all later checks);
+    /// * otherwise the readers are logically parallel (a new reader can
+    ///   never precede a stored one — execution respects the dag), and the
+    ///   slot takes whichever is further left (English order) / right
+    ///   (Hebrew order).
+    ///
+    /// `eng_less`/`heb_less` compare order positions; `precedes` is the
+    /// engine's reachability query restricted to same-future pairs.
+    pub fn record(
+        &mut self,
+        future: u32,
+        p: P,
+        eng_less: impl Fn(&P, &P) -> bool,
+        heb_less: impl Fn(&P, &P) -> bool,
+        precedes: impl Fn(&P, &P) -> bool,
+    ) {
+        match self {
+            Readers::All(v) => v.push(p),
+            Readers::PerFuture(v) => {
+                for entry in v.iter_mut() {
+                    if entry.0 == future {
+                        if precedes(&entry.1, &p) || eng_less(&p, &entry.1) {
+                            entry.1 = p;
+                        }
+                        if precedes(&entry.2, &p) || heb_less(&p, &entry.2) {
+                            entry.2 = p;
+                        }
+                        return;
+                    }
+                }
+                v.push((future, p, p));
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Readers::All(v) => v.clear(),
+            Readers::PerFuture(v) => v.clear(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Readers::All(v) => v.capacity() * std::mem::size_of::<P>(),
+            Readers::PerFuture(v) => v.capacity() * std::mem::size_of::<(u32, P, P)>(),
+        }
+    }
+}
+
+/// Shadow state of one memory location.
+#[derive(Debug)]
+pub struct LocEntry<P> {
+    /// Last writer, if any.
+    pub writer: Option<P>,
+    /// Retained readers since the last write.
+    pub readers: Readers<P>,
+}
+
+impl<P: Copy> LocEntry<P> {
+    /// Install a new writer and drop the retained readers (sound: any race
+    /// with a dropped reader is either already reported or subsumed by a
+    /// race with this writer).
+    pub fn begin_write_epoch(&mut self, w: P) {
+        self.writer = Some(w);
+        self.readers.clear();
+    }
+}
+
+struct Shard<P> {
+    map: Mutex<AddrMap<LocEntry<P>>>,
+}
+
+/// Sharded access history keyed by address.
+pub struct AccessHistory<P> {
+    shards: Box<[Shard<P>]>,
+    policy: ReaderPolicy,
+    /// Lock acquisitions (≈ instrumented accesses) — the dominant overhead
+    /// source identified in §4.
+    lock_ops: AtomicU64,
+    mask: u64,
+}
+
+/// Memory-access granularity: one lock unit covers 16 bytes, matching the
+/// paper's fine-grained locking description.
+pub const GRANULE_SHIFT: u32 = 4;
+
+impl<P: Copy + Send> AccessHistory<P> {
+    /// Create a history with `shards` lock stripes (rounded up to a power
+    /// of two).
+    pub fn new(policy: ReaderPolicy, shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        let shards =
+            (0..n).map(|_| Shard { map: Mutex::new(AddrMap::default()) }).collect::<Vec<_>>();
+        Self {
+            shards: shards.into_boxed_slice(),
+            policy,
+            lock_ops: AtomicU64::new(0),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Default sizing: 4096 stripes.
+    pub fn with_policy(policy: ReaderPolicy) -> Self {
+        Self::new(policy, 4096)
+    }
+
+    /// The reader-retention policy in force.
+    pub fn policy(&self) -> ReaderPolicy {
+        self.policy
+    }
+
+    #[inline]
+    fn shard_of(&self, addr: u64) -> &Shard<P> {
+        let granule = addr >> GRANULE_SHIFT;
+        let mut h = AddrHasher::default();
+        h.write_u64(granule);
+        &self.shards[(h.finish() & self.mask) as usize]
+    }
+
+    /// Run `f` with the location's entry locked (creating it if absent).
+    /// This is the per-access critical section whose volume the paper
+    /// identifies as the dominant `full`-config cost.
+    #[inline]
+    pub fn locked<R>(&self, addr: u64, f: impl FnOnce(&mut LocEntry<P>) -> R) -> R {
+        self.lock_ops.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(addr);
+        let mut map = shard.map.lock();
+        let entry = map
+            .entry(addr)
+            .or_insert_with(|| LocEntry { writer: None, readers: Readers::new(self.policy) });
+        f(entry)
+    }
+
+    /// Total lock acquisitions so far.
+    pub fn lock_ops(&self) -> u64 {
+        self.lock_ops.load(Ordering::Relaxed)
+    }
+
+    /// Number of tracked locations.
+    pub fn locations(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// Maximum retained readers over all locations (the §3.5 bound says
+    /// ≤ 2k under [`ReaderPolicy::PerFutureLR`]).
+    pub fn max_retained_readers(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.map.lock().values().map(|e| e.readers.len()).max().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate heap bytes (entries + reader payloads).
+    pub fn heap_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(u64, LocEntry<P>)>() + 8;
+        self.shards
+            .iter()
+            .map(|s| {
+                let m = s.map.lock();
+                m.len() * entry + m.values().map(|e| e.readers.heap_bytes()).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Pos = (u32, u32); // (eng, heb) toy positions
+
+    fn eng_less(a: &Pos, b: &Pos) -> bool {
+        a.0 < b.0
+    }
+    fn heb_less(a: &Pos, b: &Pos) -> bool {
+        a.1 < b.1
+    }
+    fn precedes(a: &Pos, b: &Pos) -> bool {
+        a != b && a.0 < b.0 && a.1 < b.1
+    }
+
+    #[test]
+    fn all_policy_keeps_every_reader() {
+        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
+        for i in 0..5u32 {
+            h.locked(0x100, |e| e.readers.record(0, (i, 10 - i), eng_less, heb_less, precedes));
+        }
+        h.locked(0x100, |e| {
+            assert_eq!(e.readers.len(), 5);
+            let mut seen = vec![];
+            e.readers.for_each(|p| seen.push(p));
+            assert_eq!(seen.len(), 5);
+        });
+    }
+
+    #[test]
+    fn per_future_policy_keeps_extremes() {
+        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::PerFutureLR);
+        // Future 3: readers at (eng, heb) = (5,5), (2,8), (8,2).
+        for (e, hb) in [(5, 5), (2, 8), (8, 2)] {
+            h.locked(0x40, |ent| ent.readers.record(3, (e, hb), eng_less, heb_less, precedes));
+        }
+        // A second future contributes separately.
+        h.locked(0x40, |ent| ent.readers.record(7, (1, 1), eng_less, heb_less, precedes));
+        h.locked(0x40, |ent| {
+            assert_eq!(ent.readers.len(), 4); // 2 futures × (l, r)
+            let mut seen = vec![];
+            ent.readers.for_each(|p| seen.push(p));
+            assert!(seen.contains(&(2, 8)), "leftmost by eng");
+            assert!(seen.contains(&(8, 2)), "rightmost by heb");
+            assert!(seen.contains(&(1, 1)));
+        });
+    }
+
+    #[test]
+    fn write_epoch_clears_readers() {
+        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
+        h.locked(0x8, |e| {
+            e.readers.record(0, (1, 1), eng_less, heb_less, precedes);
+            e.begin_write_epoch((2, 2));
+            assert!(e.readers.is_empty());
+            assert_eq!(e.writer, Some((2, 2)));
+        });
+    }
+
+    #[test]
+    fn distinct_addresses_distinct_entries() {
+        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
+        for a in 0..1000u64 {
+            h.locked(a * 8, |e| e.readers.record(0, (a as u32, a as u32), eng_less, heb_less, precedes));
+        }
+        assert_eq!(h.locations(), 1000);
+        assert_eq!(h.lock_ops(), 1000);
+        assert!(h.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let h: Arc<AccessHistory<Pos>> = Arc::new(AccessHistory::with_policy(ReaderPolicy::All));
+        let mut threads = vec![];
+        for t in 0..4u32 {
+            let h = Arc::clone(&h);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.locked(i % 64, |e| e.readers.record(t, (t, t), eng_less, heb_less, precedes));
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.lock_ops(), 40_000);
+        h.locked(0, |e| assert!(e.readers.len() >= 4 * 10_000 / 64));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let h: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, 5);
+        assert_eq!(h.shards.len(), 8);
+        let h1: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, 1);
+        assert_eq!(h1.shards.len(), 1);
+        // Single-shard table still works.
+        h1.locked(1, |e| e.begin_write_epoch((0, 0)));
+        h1.locked(2, |e| e.begin_write_epoch((1, 1)));
+        assert_eq!(h1.locations(), 2);
+    }
+}

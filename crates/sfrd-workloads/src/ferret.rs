@@ -1,0 +1,277 @@
+//! `ferret` — content-based similarity search pipeline (Fig. 3 row 5).
+//!
+//! PARSEC's ferret pushes image queries through a pipeline (segment →
+//! feature extraction → index/rank → ordered output). With structured
+//! futures, each (query, stage) is a future task that gets the previous
+//! stage of the same query; the output stage additionally gets the
+//! previous query's output stage, giving the ordered-commit chain. Every
+//! handle is gotten exactly once. With `Q` queries and 4 future stages,
+//! `k = 4Q` (the paper's simlarge run uses k = 256).
+//!
+//! Images and the feature database are synthetic (DESIGN.md §6): the
+//! access pattern — per-query buffers flowing stage to stage plus a big
+//! read-mostly database scan in the rank stage — is what the detector
+//! sees, and that is preserved.
+
+use sfrd_core::{ShadowArray, ShadowCell, ShadowMatrix, Workload};
+use sfrd_runtime::Cx;
+
+/// Number of future stages per query.
+pub const STAGES: usize = 4;
+
+/// Parameters for [`FerretWorkload`].
+#[derive(Debug, Clone, Copy)]
+pub struct FerretParams {
+    /// Number of queries.
+    pub queries: usize,
+    /// Per-query feature-buffer width.
+    pub width: usize,
+    /// Database entries (scanned by the rank stage).
+    pub db_entries: usize,
+    /// Feature dimension per database entry.
+    pub dim: usize,
+}
+
+impl FerretParams {
+    /// Small default for tests/CI.
+    pub fn small() -> Self {
+        Self { queries: 12, width: 48, db_entries: 64, dim: 16 }
+    }
+
+    /// Paper-shaped input: `k = 4·64 = 256` futures. Heavy!
+    pub fn paper() -> Self {
+        Self { queries: 64, width: 256, db_entries: 4096, dim: 64 }
+    }
+}
+
+/// The `ferret` benchmark state.
+pub struct FerretWorkload {
+    /// Per-query working buffers (`queries × width`).
+    buf: ShadowMatrix<u64>,
+    /// Feature database (`db_entries × dim`), written by the main task.
+    db: ShadowArray<u64>,
+    /// Ranked best-match per query.
+    results: ShadowArray<u64>,
+    /// Ordered-output cursor (serialized by the output chain).
+    cursor: ShadowCell<u64>,
+    /// Committed output order.
+    out: ShadowArray<u64>,
+    params: FerretParams,
+    seed: u64,
+}
+
+impl FerretWorkload {
+    /// Build with a deterministic synthetic database.
+    pub fn new(params: FerretParams, seed: u64) -> Self {
+        Self {
+            buf: ShadowMatrix::new(params.queries, params.width),
+            db: ShadowArray::new(params.db_entries * params.dim),
+            results: ShadowArray::new(params.queries),
+            cursor: ShadowCell::new(0),
+            out: ShadowArray::new(params.queries),
+            params,
+            seed,
+        }
+    }
+
+    #[inline]
+    fn mix(&self, x: u64, salt: u64) -> u64 {
+        (x ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15 ^ self.seed) >> 8
+    }
+
+    /// Stage 0, "segment": seed the query's buffer.
+    fn segment<'s, C: Cx<'s>>(&self, ctx: &mut C, q: usize) {
+        for i in 0..self.params.width {
+            self.buf.write(ctx, q, i, self.mix((q * self.params.width + i) as u64, 0xA));
+        }
+    }
+
+    /// Stage 1, "extract": transform the buffer in place.
+    fn extract<'s, C: Cx<'s>>(&self, ctx: &mut C, q: usize) {
+        let w = self.params.width;
+        let mut acc = 0u64;
+        for i in 0..w {
+            let v = self.buf.read(ctx, q, i);
+            acc = acc.rotate_left(7) ^ v;
+            self.buf.write(ctx, q, i, self.mix(v, acc));
+        }
+    }
+
+    /// Stage 2, "rank": scan the database for the best match.
+    fn rank<'s, C: Cx<'s>>(&self, ctx: &mut C, q: usize) {
+        let FerretParams { width, db_entries, dim, .. } = self.params;
+        let mut best = (u64::MAX, 0u64);
+        for e in 0..db_entries {
+            let mut dist = 0u64;
+            for d in 0..dim {
+                let feat = self.db.read(ctx, e * dim + d);
+                let qv = self.buf.read(ctx, q, d % width);
+                dist = dist.wrapping_add((feat ^ qv).count_ones() as u64);
+            }
+            if dist < best.0 {
+                best = (dist, e as u64);
+            }
+        }
+        self.results.write(ctx, q, best.1);
+    }
+
+    /// Stage 3, "out": ordered commit.
+    fn out_stage<'s, C: Cx<'s>>(&self, ctx: &mut C, q: usize) {
+        let r = self.results.read(ctx, q);
+        let c = self.cursor.read(ctx);
+        self.out.write(ctx, c as usize, r);
+        self.cursor.write(ctx, c + 1);
+    }
+
+    /// The input parameters.
+    pub fn params(&self) -> &FerretParams {
+        &self.params
+    }
+
+    /// Uninstrumented serial reference of the committed output.
+    pub fn expected(&self) -> Vec<u64> {
+        let FerretParams { queries, width, db_entries, dim } = self.params;
+        let mut out = Vec::with_capacity(queries);
+        for q in 0..queries {
+            let mut buf: Vec<u64> =
+                (0..width).map(|i| self.mix((q * width + i) as u64, 0xA)).collect();
+            let mut acc = 0u64;
+            for v in buf.iter_mut() {
+                let old = *v;
+                acc = acc.rotate_left(7) ^ old;
+                *v = self.mix(old, acc);
+            }
+            let mut best = (u64::MAX, 0u64);
+            for e in 0..db_entries {
+                let mut dist = 0u64;
+                for d in 0..dim {
+                    let feat = self.mix((e * dim + d) as u64, 0xD8);
+                    dist = dist.wrapping_add((feat ^ buf[d % width]).count_ones() as u64);
+                }
+                if dist < best.0 {
+                    best = (dist, e as u64);
+                }
+            }
+            out.push(best.1);
+        }
+        out
+    }
+
+    /// Check committed output order and values.
+    pub fn verify(&self) -> bool {
+        let want = self.expected();
+        self.cursor.load() == self.params.queries as u64
+            && (0..self.params.queries).all(|q| self.out.load(q) == want[q])
+    }
+}
+
+impl Workload for FerretWorkload {
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+        let FerretParams { queries, db_entries, dim, .. } = self.params;
+        // Load the database (main task writes; stage tasks are created
+        // afterwards, so the scan reads are ordered after these writes).
+        for i in 0..db_entries * dim {
+            self.db.write(ctx, i, self.mix(i as u64, 0xD8));
+        }
+        let mut prev_out: Option<C::Handle<()>> = None;
+        let mut last: Option<C::Handle<()>> = None;
+        for q in 0..queries {
+            let s0 = ctx.create(move |c| self.segment(c, q));
+            let s1 = ctx.create(move |c| {
+                c.get(s0);
+                self.extract(c, q);
+            });
+            let s2 = ctx.create(move |c| {
+                c.get(s1);
+                self.rank(c, q);
+            });
+            let chain = prev_out.take();
+            let s3 = ctx.create(move |c| {
+                c.get(s2);
+                if let Some(h) = chain {
+                    c.get(h);
+                }
+                self.out_stage(c, q);
+            });
+            if q + 1 == queries {
+                last = Some(s3);
+            } else {
+                prev_out = Some(s3);
+            }
+        }
+        if let Some(h) = last {
+            ctx.get(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfrd_core::{drive, DetectorKind, DriveConfig, Mode};
+
+    #[test]
+    fn ferret_matches_reference_all_detectors() {
+        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+            let w = FerretWorkload::new(
+                FerretParams { queries: 6, width: 16, db_entries: 16, dim: 8 },
+                17,
+            );
+            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
+            assert!(w.verify(), "{kind:?}");
+            assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ferret_future_count_is_4q() {
+        let w =
+            FerretWorkload::new(FerretParams { queries: 5, width: 8, db_entries: 8, dim: 4 }, 1);
+        let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 2));
+        assert_eq!(out.report.unwrap().counts.futures, (STAGES * 5) as u64);
+    }
+
+    /// Removing the output chain introduces a real race on the cursor —
+    /// detectors must see it. (This is the workload's negative control.)
+    struct UnchainedFerret(FerretWorkload);
+
+    impl Workload for UnchainedFerret {
+        fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+            let w = &self.0;
+            for i in 0..w.params.db_entries * w.params.dim {
+                w.db.write(ctx, i, w.mix(i as u64, 0xD8));
+            }
+            let mut handles = Vec::new();
+            for q in 0..w.params.queries {
+                // Skip the ordered-commit chain entirely: cursor races.
+                handles.push(ctx.create(move |c| {
+                    w.segment(c, q);
+                    w.extract(c, q);
+                    w.rank(c, q);
+                    w.out_stage(c, q);
+                }));
+            }
+            for h in handles {
+                ctx.get(h);
+            }
+        }
+    }
+
+    #[test]
+    fn unchained_output_races_on_cursor() {
+        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+            let inner = FerretWorkload::new(
+                FerretParams { queries: 4, width: 8, db_entries: 8, dim: 4 },
+                23,
+            );
+            let cursor_addr = inner.cursor.addr();
+            let w = UnchainedFerret(inner);
+            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
+            let rep = out.report.unwrap();
+            assert!(rep.total_races > 0, "{kind:?} missed the cursor race");
+            assert!(rep.racy_addrs.contains(&cursor_addr), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! `hw` — Heart Wall tracking (Fig. 3 row 4).
+//!
+//! Rodinia's Heart Wall tracks sample points of a mouse heart across a
+//! sequence of ultrasound frames: within a frame all points are
+//! independent; across frames each point depends on its own previous
+//! position. We synthesize the frames (DESIGN.md §6 — detection cost
+//! depends on the dependence structure and access pattern, not on real
+//! pixels): the main task writes each frame's pixels, then creates one
+//! future per (frame, point); task `(f, p)` gets the handle of
+//! `(f-1, p)` — a single-touch chain per point — reads its previous
+//! position, scans a window of frame `f`, and writes its new position.
+
+use sfrd_core::{ShadowArray, Workload};
+use sfrd_runtime::Cx;
+
+/// Parameters for [`HwWorkload`].
+#[derive(Debug, Clone, Copy)]
+pub struct HwParams {
+    /// Number of frames.
+    pub frames: usize,
+    /// Tracking points per frame.
+    pub points: usize,
+    /// Frame side length (pixels).
+    pub side: usize,
+    /// Search-window side around the previous position.
+    pub window: usize,
+    /// Number of template passes per window scan (Rodinia's per-point
+    /// convolution stack; multiplies reads without adding writes).
+    pub templates: usize,
+}
+
+impl HwParams {
+    /// Small default for tests/CI.
+    pub fn small() -> Self {
+        Self { frames: 4, points: 24, side: 64, window: 8, templates: 2 }
+    }
+
+    /// Paper-shaped input (10 frames, Rodinia-like point count). Heavy!
+    pub fn paper() -> Self {
+        Self { frames: 10, points: 368, side: 512, window: 40, templates: 16 }
+    }
+}
+
+/// The `hw` benchmark state.
+pub struct HwWorkload {
+    /// Frame pixels, `frames × side²`, written by the main task.
+    pixels: ShadowArray<u64>,
+    /// Point positions, `(frames+1) × points`, packed `y*side + x`.
+    positions: ShadowArray<u64>,
+    params: HwParams,
+    seed: u64,
+}
+
+impl HwWorkload {
+    /// Build with deterministic synthetic frames.
+    pub fn new(params: HwParams, seed: u64) -> Self {
+        assert!(params.window < params.side / 2);
+        Self {
+            pixels: ShadowArray::new(params.frames * params.side * params.side),
+            positions: ShadowArray::new((params.frames + 1) * params.points),
+            params,
+            seed,
+        }
+    }
+
+    #[inline]
+    fn pixel_value(&self, f: usize, y: usize, x: usize) -> u64 {
+        let v = (f as u64) << 40 | (y as u64) << 20 | x as u64;
+        v.wrapping_mul(0x9e37_79b9_7f4a_7c15 ^ self.seed) >> 16
+    }
+
+    /// Track one point in frame `f` (frames are 1-based; row 0 of
+    /// `positions` holds the initial placements).
+    fn track<'s, C: Cx<'s>>(&self, ctx: &mut C, f: usize, p: usize) {
+        let pts = self.params.points;
+        let side = self.params.side;
+        let w = self.params.window;
+        let prev = self.positions.read(ctx, (f - 1) * pts + p);
+        let (py, px) = ((prev / side as u64) as usize, (prev % side as u64) as usize);
+        // Scan the window in frame f around (py, px); pick the arg-max of a
+        // simple response function (stands in for Rodinia's convolutions).
+        let mut best = (0u64, py, px);
+        let y0 = py.saturating_sub(w / 2).min(side - w);
+        let x0 = px.saturating_sub(w / 2).min(side - w);
+        let base = (f - 1) * side * side;
+        for t in 0..self.params.templates {
+            for dy in 0..w {
+                for dx in 0..w {
+                    let (y, x) = (y0 + dy, x0 + dx);
+                    let v = self.pixels.read(ctx, base + y * side + x);
+                    let resp = v.rotate_left(t as u32) ^ (dy as u64) << 3 ^ dx as u64;
+                    if resp > best.0 {
+                        best = (resp, y, x);
+                    }
+                }
+            }
+        }
+        self.positions.write(ctx, f * pts + p, (best.1 * side + best.2) as u64);
+    }
+
+    /// The input parameters.
+    pub fn params(&self) -> &HwParams {
+        &self.params
+    }
+
+    /// Uninstrumented serial reference: final positions of all points.
+    pub fn expected(&self) -> Vec<u64> {
+        let HwParams { frames, points, side, window: w, .. } = self.params;
+        let mut pos: Vec<u64> =
+            (0..points).map(|p| ((side / 2) * side + (p * side) / points.max(1)) as u64).collect();
+        for f in 1..=frames {
+            for p in pos.iter_mut() {
+                let (py, px) = ((*p / side as u64) as usize, (*p % side as u64) as usize);
+                let mut best = (0u64, py, px);
+                let y0 = py.saturating_sub(w / 2).min(side - w);
+                let x0 = px.saturating_sub(w / 2).min(side - w);
+                for t in 0..self.params.templates {
+                    for dy in 0..w {
+                        for dx in 0..w {
+                            let (y, x) = (y0 + dy, x0 + dx);
+                            let v = self.pixel_value(f - 1, y, x);
+                            let resp = v.rotate_left(t as u32) ^ (dy as u64) << 3 ^ dx as u64;
+                            if resp > best.0 {
+                                best = (resp, y, x);
+                            }
+                        }
+                    }
+                }
+                *p = (best.1 * side + best.2) as u64;
+            }
+        }
+        pos
+    }
+
+    /// Check final positions against the reference.
+    pub fn verify(&self) -> bool {
+        let HwParams { frames, points, .. } = self.params;
+        let want = self.expected();
+        (0..points).all(|p| self.positions.load(frames * points + p) == want[p])
+    }
+}
+
+impl Workload for HwWorkload {
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+        let HwParams { frames, points, side, .. } = self.params;
+        // Initial placements (frame 0 row).
+        for p in 0..points {
+            let init = ((side / 2) * side + (p * side) / points.max(1)) as u64;
+            self.positions.write(ctx, p, init);
+        }
+        // One single-touch future chain per point across frames.
+        let mut prev: Vec<Option<C::Handle<()>>> = (0..points).map(|_| None).collect();
+        for f in 1..=frames {
+            // "Load" frame f: the main task writes its pixels.
+            let base = (f - 1) * side * side;
+            for y in 0..side {
+                for x in 0..side {
+                    self.pixels.write(ctx, base + y * side + x, self.pixel_value(f - 1, y, x));
+                }
+            }
+            for (p, slot) in prev.iter_mut().enumerate() {
+                let upstream = slot.take();
+                *slot = Some(ctx.create(move |c| {
+                    if let Some(h) = upstream {
+                        c.get(h);
+                    }
+                    self.track(c, f, p);
+                }));
+            }
+        }
+        // Join the last frame's trackers.
+        for slot in prev {
+            if let Some(h) = slot {
+                ctx.get(h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfrd_core::{drive, DetectorKind, DriveConfig, Mode};
+
+    #[test]
+    fn hw_matches_reference_all_detectors() {
+        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+            let w = HwWorkload::new(HwParams { frames: 3, points: 8, side: 32, window: 6, templates: 2 }, 13);
+            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
+            assert!(w.verify(), "{kind:?}");
+            assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn hw_future_count_is_frames_times_points() {
+        let w = HwWorkload::new(HwParams { frames: 3, points: 8, side: 32, window: 6, templates: 2 }, 3);
+        let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 2));
+        assert_eq!(out.report.unwrap().counts.futures, 24);
+    }
+}

@@ -1,0 +1,183 @@
+//! `sort` — parallel mergesort (Fig. 3 row 2).
+//!
+//! Classic future-parallel mergesort: each half is sorted by a created
+//! future, the merge runs after both gets. The merge itself is serial per
+//! node (the paper's version; the parallelism comes from the recursion
+//! tree). Below the base-case size an insertion sort runs with
+//! instrumented accesses.
+
+use sfrd_core::{ShadowArray, Workload};
+use sfrd_runtime::Cx;
+
+/// Parameters for [`SortWorkload`].
+#[derive(Debug, Clone, Copy)]
+pub struct SortParams {
+    /// Element count.
+    pub n: usize,
+    /// Base-case size.
+    pub base: usize,
+}
+
+impl SortParams {
+    /// Small default for tests/CI.
+    pub fn small() -> Self {
+        Self { n: 4096, base: 64 }
+    }
+
+    /// The paper's input (`N = 10⁷, B = 8192`). Heavy!
+    pub fn paper() -> Self {
+        Self { n: 10_000_000, base: 8192 }
+    }
+}
+
+/// The `sort` benchmark state: data plus a scratch buffer.
+pub struct SortWorkload {
+    /// The array being sorted (in place).
+    pub data: ShadowArray<u64>,
+    /// Merge scratch space.
+    tmp: ShadowArray<u64>,
+    params: SortParams,
+    input: Vec<u64>,
+}
+
+impl SortWorkload {
+    /// Deterministic pseudo-random input from a seed.
+    pub fn new(params: SortParams, seed: u64) -> Self {
+        assert!(params.base >= 2);
+        let mut x = seed | 1;
+        let input: Vec<u64> = (0..params.n)
+            .map(|_| {
+                // xorshift64*
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            })
+            .collect();
+        Self {
+            data: ShadowArray::from_fn(params.n, |i| input[i]),
+            tmp: ShadowArray::new(params.n),
+            params,
+            input,
+        }
+    }
+
+    /// Serial base case: in-place mergesort (O(B lg B) accesses, matching
+    /// the paper's read/query profile) with an insertion-sort cutoff.
+    fn seq_sort<'s, C: Cx<'s>>(&self, ctx: &mut C, lo: usize, hi: usize) {
+        if hi - lo <= 16 {
+            self.insertion_sort(ctx, lo, hi);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.seq_sort(ctx, lo, mid);
+        self.seq_sort(ctx, mid, hi);
+        self.merge(ctx, lo, mid, hi);
+    }
+
+    fn insertion_sort<'s, C: Cx<'s>>(&self, ctx: &mut C, lo: usize, hi: usize) {
+        for i in lo + 1..hi {
+            let v = self.data.read(ctx, i);
+            let mut j = i;
+            while j > lo {
+                let u = self.data.read(ctx, j - 1);
+                if u <= v {
+                    break;
+                }
+                self.data.write(ctx, j, u);
+                j -= 1;
+            }
+            self.data.write(ctx, j, v);
+        }
+    }
+
+    fn merge<'s, C: Cx<'s>>(&self, ctx: &mut C, lo: usize, mid: usize, hi: usize) {
+        // Each element is read exactly once per merge (cursor caching).
+        let (mut i, mut j) = (lo, mid);
+        let mut left = (i < mid).then(|| self.data.read(ctx, i));
+        let mut right = (j < hi).then(|| self.data.read(ctx, j));
+        for k in lo..hi {
+            let take_left = match (left, right) {
+                (Some(l), Some(r)) => l <= r,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let v = if take_left {
+                let v = left.take().expect("left cursor");
+                i += 1;
+                left = (i < mid).then(|| self.data.read(ctx, i));
+                v
+            } else {
+                let v = right.take().expect("right cursor");
+                j += 1;
+                right = (j < hi).then(|| self.data.read(ctx, j));
+                v
+            };
+            self.tmp.write(ctx, k, v);
+        }
+        for k in lo..hi {
+            let v = self.tmp.read(ctx, k);
+            self.data.write(ctx, k, v);
+        }
+    }
+
+    fn sort_rec<'s, C: Cx<'s>>(&'s self, ctx: &mut C, lo: usize, hi: usize) {
+        if hi - lo <= self.params.base {
+            self.seq_sort(ctx, lo, hi);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = ctx.create(move |t| self.sort_rec(t, lo, mid));
+        self.sort_rec(ctx, mid, hi);
+        ctx.get(left);
+        self.merge(ctx, lo, mid, hi);
+    }
+
+    /// The input parameters.
+    pub fn params(&self) -> &SortParams {
+        &self.params
+    }
+
+    /// Check sortedness and multiset equality with the input.
+    pub fn verify(&self) -> bool {
+        let got = self.data.to_vec();
+        if !got.windows(2).all(|w| w[0] <= w[1]) {
+            return false;
+        }
+        let mut want = self.input.clone();
+        want.sort_unstable();
+        got == want
+    }
+}
+
+impl Workload for SortWorkload {
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+        self.sort_rec(ctx, 0, self.params.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfrd_core::{drive, DetectorKind, DriveConfig, Mode};
+
+    #[test]
+    fn sort_correct_and_race_free_all_detectors() {
+        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+            let w = SortWorkload::new(SortParams { n: 512, base: 32 }, 42);
+            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
+            assert!(w.verify(), "{kind:?}");
+            assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sort_future_count() {
+        let w = SortWorkload::new(SortParams { n: 256, base: 32 }, 7);
+        let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1));
+        // 256/32 = 8 leaves → 7 internal nodes → 7 futures.
+        assert_eq!(out.report.unwrap().counts.futures, 7);
+        assert!(w.verify());
+    }
+}

@@ -1,0 +1,192 @@
+//! `sw` — Smith-Waterman sequence alignment (Fig. 3 row 3).
+//!
+//! The general-gap-penalty (cubic) variant the paper uses: scoring cell
+//! `(i, j)` scans its whole row and column prefix, so an `N×N` table costs
+//! `Θ(N³)` reads — matching Fig. 3's 8.59×10⁹ reads for `N = 2048`.
+//!
+//! Blocked wavefront with structured futures: the main task walks
+//! anti-diagonals, creating one future per block on the diagonal and
+//! getting the whole diagonal before creating the next — each handle is
+//! gotten exactly once (single-touch), and every block's inputs (all
+//! blocks above and to its left) lie on earlier diagonals. This matches
+//! the paper's Fig. 3 shape: `(N/B)²` futures and ≈ 2 nodes per future.
+
+use sfrd_core::{ShadowMatrix, Workload};
+use sfrd_runtime::Cx;
+
+/// Parameters for [`SwWorkload`].
+#[derive(Debug, Clone, Copy)]
+pub struct SwParams {
+    /// Sequence length (table is `(n+1)²`).
+    pub n: usize,
+    /// Block side.
+    pub base: usize,
+}
+
+impl SwParams {
+    /// Small default for tests/CI.
+    pub fn small() -> Self {
+        Self { n: 96, base: 16 }
+    }
+
+    /// The paper's input (`N = 2048, B = 64`). Heavy (`N³` reads)!
+    pub fn paper() -> Self {
+        Self { n: 2048, base: 64 }
+    }
+}
+
+const MATCH: i64 = 2;
+const MISMATCH: i64 = -1;
+const GAP_OPEN: i64 = 2;
+const GAP_EXTEND: i64 = 1;
+
+/// The `sw` benchmark state.
+pub struct SwWorkload {
+    seq_a: Vec<u8>,
+    seq_b: Vec<u8>,
+    /// DP table, `(n+1) × (n+1)`.
+    pub table: ShadowMatrix<i64>,
+    params: SwParams,
+}
+
+impl SwWorkload {
+    /// Deterministic random sequences over a 4-letter alphabet.
+    pub fn new(params: SwParams, seed: u64) -> Self {
+        assert!(params.n % params.base == 0, "base must divide n");
+        let mut x = seed | 1;
+        let mut gen = |n: usize| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 60) as u8 & 3
+                })
+                .collect()
+        };
+        Self {
+            seq_a: gen(params.n),
+            seq_b: gen(params.n),
+            table: ShadowMatrix::new(params.n + 1, params.n + 1),
+            params,
+        }
+    }
+
+    #[inline]
+    fn score(&self, i: usize, j: usize) -> i64 {
+        if self.seq_a[i - 1] == self.seq_b[j - 1] {
+            MATCH
+        } else {
+            MISMATCH
+        }
+    }
+
+    #[inline]
+    fn gap(d: usize) -> i64 {
+        GAP_OPEN + GAP_EXTEND * d as i64
+    }
+
+    /// Compute one block (rows `bi*B+1..`, cols `bj*B+1..`), instrumented.
+    fn block<'s, C: Cx<'s>>(&self, ctx: &mut C, bi: usize, bj: usize) {
+        let b = self.params.base;
+        for i in bi * b + 1..=(bi + 1) * b {
+            for j in bj * b + 1..=(bj + 1) * b {
+                let diag = self.table.read(ctx, i - 1, j - 1) + self.score(i, j);
+                let mut best = diag.max(0);
+                for k in 0..j {
+                    let v = self.table.read(ctx, i, k) - Self::gap(j - k);
+                    best = best.max(v);
+                }
+                for k in 0..i {
+                    let v = self.table.read(ctx, k, j) - Self::gap(i - k);
+                    best = best.max(v);
+                }
+                self.table.write(ctx, i, j, best);
+            }
+        }
+    }
+
+    /// The input parameters.
+    pub fn params(&self) -> &SwParams {
+        &self.params
+    }
+
+    /// Uninstrumented serial reference of the whole table.
+    pub fn expected(&self) -> Vec<i64> {
+        let n = self.params.n;
+        let mut t = vec![0i64; (n + 1) * (n + 1)];
+        for i in 1..=n {
+            for j in 1..=n {
+                let mut best = (t[(i - 1) * (n + 1) + j - 1] + self.score(i, j)).max(0);
+                for k in 0..j {
+                    best = best.max(t[i * (n + 1) + k] - Self::gap(j - k));
+                }
+                for k in 0..i {
+                    best = best.max(t[k * (n + 1) + j] - Self::gap(i - k));
+                }
+                t[i * (n + 1) + j] = best;
+            }
+        }
+        t
+    }
+
+    /// Check the computed table against the reference.
+    pub fn verify(&self) -> bool {
+        let n = self.params.n;
+        let want = self.expected();
+        (0..=n).all(|i| (0..=n).all(|j| self.table.load(i, j) == want[i * (n + 1) + j]))
+    }
+}
+
+impl Workload for SwWorkload {
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+        let m = self.params.n / self.params.base;
+        for d in 0..2 * m - 1 {
+            let mut handles = Vec::new();
+            for bi in 0..m {
+                if d >= bi && d - bi < m {
+                    let bj = d - bi;
+                    handles.push(ctx.create(move |t| self.block(t, bi, bj)));
+                }
+            }
+            for h in handles {
+                ctx.get(h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfrd_core::{drive, DetectorKind, DriveConfig, Mode};
+
+    #[test]
+    fn sw_matches_reference_all_detectors() {
+        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+            let w = SwWorkload::new(SwParams { n: 32, base: 8 }, 5);
+            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
+            assert!(w.verify(), "{kind:?}");
+            assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sw_future_count_is_blocks() {
+        let w = SwWorkload::new(SwParams { n: 64, base: 16 }, 9);
+        let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 2));
+        assert_eq!(out.report.unwrap().counts.futures, 16, "one future per block");
+        assert!(w.verify());
+    }
+
+    #[test]
+    fn sw_read_write_shape() {
+        // Reads ≈ n³-ish (prefix scans); writes = n².
+        let w = SwWorkload::new(SwParams { n: 32, base: 8 }, 11);
+        let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1));
+        let c = out.report.unwrap().counts;
+        assert_eq!(c.writes, 32 * 32);
+        assert!(c.reads > c.writes * 10, "cubic reads dominate: {c:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Medium-scale soak tests — `#[ignore]`d by default (minutes of CPU);
+//! run with `cargo test -p sfrd-workloads --release -- --ignored`.
+
+use sfrd_core::{drive, DetectorKind, DriveConfig, Mode};
+use sfrd_workloads::{make_bench, Scale, BENCH_NAMES};
+
+#[test]
+#[ignore = "minutes of CPU; run with --ignored in release"]
+fn medium_suite_full_detection_clean() {
+    for name in BENCH_NAMES {
+        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+            let w = make_bench(name, Scale::Medium, 99);
+            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
+            assert!(w.verify_ok(), "{name} {kind:?}");
+            assert_eq!(out.report.unwrap().total_races, 0, "{name} {kind:?}");
+        }
+    }
+}
+
+#[test]
+#[ignore = "minutes of CPU; run with --ignored in release"]
+fn medium_counts_are_schedule_invariant() {
+    for name in BENCH_NAMES {
+        let mut seen = None;
+        for workers in [1, 2, 4] {
+            let w = make_bench(name, Scale::Medium, 7);
+            let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers));
+            let c = out.report.unwrap().counts;
+            let key = (c.reads, c.writes, c.futures, c.spawns, c.gets);
+            match &seen {
+                None => seen = Some(key),
+                Some(prev) => assert_eq!(*prev, key, "{name} x{workers}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: detect a determinacy race in a future-parallel program.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The program below contains a classic structured-futures bug: the
+//! continuation reads `total` *before* getting the future that writes it.
+//! On most runs the values come out right anyway — which is exactly why
+//! you want a determinacy race detector: SF-Order reports the race on
+//! every run, because it reasons about the dag, not the schedule.
+
+use sfrd::core::{drive, DetectorKind, DriveConfig, Mode, ShadowArray, ShadowCell, Workload};
+use sfrd::runtime::Cx;
+
+struct SumHalves {
+    data: ShadowArray<u64>,
+    total: ShadowCell<u64>,
+    buggy: bool,
+}
+
+impl Workload for SumHalves {
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+        let n = self.data.len();
+        // A future sums the left half and adds it to `total`.
+        let left = ctx.create(move |c| {
+            let mut s = 0;
+            for i in 0..n / 2 {
+                s += self.data.read(c, i);
+            }
+            let t = self.total.read(c);
+            self.total.write(c, t + s);
+        });
+        // The continuation sums the right half.
+        let mut s = 0;
+        for i in n / 2..n {
+            s += self.data.read(ctx, i);
+        }
+        if self.buggy {
+            // BUG: read-modify-write of `total` while the future may still
+            // be running — a determinacy race.
+            let t = self.total.read(ctx);
+            self.total.write(ctx, t + s);
+            ctx.get(left);
+        } else {
+            // Correct: get the future first; its write precedes ours.
+            ctx.get(left);
+            let t = self.total.read(ctx);
+            self.total.write(ctx, t + s);
+        }
+    }
+}
+
+fn main() {
+    for buggy in [true, false] {
+        let w = SumHalves {
+            data: ShadowArray::from_fn(1024, |i| i as u64),
+            total: ShadowCell::new(0),
+            buggy,
+        };
+        let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2);
+        let out = drive(&w, cfg);
+        let report = out.report.expect("detector attached");
+        println!(
+            "version = {}, races = {}, distinct racy locations = {:?}",
+            if buggy { "buggy " } else { "fixed " },
+            report.total_races,
+            report.racy_addrs.len(),
+        );
+        if buggy {
+            assert!(report.total_races > 0, "SF-Order must flag the buggy version");
+        } else {
+            assert_eq!(report.total_races, 0, "the fixed version is race-free");
+            assert_eq!(w.total.load(), (0..1024).sum::<u64>());
+        }
+    }
+    println!("quickstart OK");
+}

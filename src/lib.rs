@@ -1,0 +1,36 @@
+//! # sfrd — determinacy race detection for structured futures
+//!
+//! Facade crate re-exporting the whole SF-Order reproduction workspace:
+//!
+//! * [`core`] ([`sfrd_core`]) — the race detectors ([`core::SfOrder`],
+//!   [`core::FOrder`], [`core::MultiBags`]) and the instrumented shared-data
+//!   wrappers used by programs under test.
+//! * [`runtime`] ([`sfrd_runtime`]) — the work-stealing and sequential
+//!   task-parallel runtimes (spawn/sync + create/get).
+//! * [`reach`] ([`sfrd_reach`]) — the reachability engines.
+//! * [`shadow`] ([`sfrd_shadow`]) — the access-history shadow memory.
+//! * [`dag`] ([`sfrd_dag`]) — the computation-dag model, the offline
+//!   reachability oracle, and random structured-future program generators.
+//! * [`om`] ([`sfrd_om`]) — the order-maintenance structure.
+//! * [`workloads`] ([`sfrd_workloads`]) — the paper's five benchmarks.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use sfrd_core as core;
+pub use sfrd_dag as dag;
+pub use sfrd_om as om;
+pub use sfrd_reach as reach;
+pub use sfrd_runtime as runtime;
+pub use sfrd_shadow as shadow;
+pub use sfrd_workloads as workloads;
+
+/// Convenience prelude: the names most programs under test need.
+pub mod prelude {
+    pub use sfrd_core::{
+        drive, Detector, DetectorKind, DriveConfig, FastPath, FutureHandle, Mode, MultiBags,
+        RaceReport, ReachOnly, SfOrder, ShadowArray, ShadowCell, ShadowMatrix, Strand, Workload,
+        WspDetector,
+    };
+    pub use sfrd_runtime::{Cx, RuntimeConfig};
+    pub use sfrd_shadow::ReaderPolicy;
+}

@@ -1,0 +1,123 @@
+//! Empirical verification of the paper's quantitative bounds.
+//!
+//! The theorems are asymptotic; these tests pin the constants the proofs
+//! promise, on random programs and on the benchmark suite:
+//!
+//! * §3.4 / Lemma 3.12 — `gp` tables are *merged* (freshly allocated with
+//!   contributions from both parents) at most O(k) times;
+//! * §3.5 / Lemma 3.11 — under the per-future leftmost/rightmost policy, a
+//!   location retains at most 2k readers;
+//! * order-maintenance amortization — relabel passes stay far below the
+//!   insert count.
+
+use std::sync::Arc;
+
+use rand::prelude::*;
+
+use sfrd::core::{GenWorkload, Mode, SfDetector, Workload};
+use sfrd::dag::generator::{GenParams, GenProgram};
+use sfrd::runtime::Runtime;
+use sfrd::shadow::ReaderPolicy;
+use sfrd::workloads::{make_bench, Scale, BENCH_NAMES};
+
+fn run_sf(w: &impl Workload, policy: ReaderPolicy, workers: usize) -> Arc<SfDetector> {
+    let det = Arc::new(SfDetector::new(Mode::Full, policy));
+    let rt: Runtime<SfDetector> = Runtime::new(workers);
+    rt.run(Arc::clone(&det), |ctx| w.run(ctx));
+    det
+}
+
+/// gp/cp merge count stays O(k) — we assert ≤ 2k + 4 (the proof's budget:
+/// one merge per get plus at most k divergent syncs; `cp` copies are
+/// allocations, not merges).
+#[test]
+fn gp_merges_linear_in_k() {
+    let mut rng = StdRng::seed_from_u64(0x314);
+    for _ in 0..25 {
+        let prog = GenProgram::random(
+            &mut rng,
+            &GenParams { max_tasks: 40, max_body_len: 8, ..Default::default() },
+        );
+        let w = GenWorkload(prog);
+        let det = run_sf(&w, ReaderPolicy::All, 2);
+        let k = det.reach().future_count() as u64;
+        let (_, _, merges) = det.reach().set_stats().snapshot();
+        assert!(
+            merges <= 2 * k + 4,
+            "merges = {merges} exceeds the O(k) budget for k = {k}"
+        );
+    }
+}
+
+/// The same bound on the real benchmarks.
+#[test]
+fn gp_merges_linear_in_k_on_suite() {
+    for name in BENCH_NAMES {
+        let w = make_bench(name, Scale::Small, 3);
+        let det = run_sf(&w, ReaderPolicy::All, 2);
+        assert!(w.verify_ok());
+        let k = det.reach().future_count() as u64;
+        let (_, _, merges) = det.reach().set_stats().snapshot();
+        assert!(merges <= 2 * k + 4, "{name}: merges = {merges}, k = {k}");
+    }
+}
+
+/// §3.5: per-location retained readers ≤ 2k under PerFutureLR, even on
+/// read-storm programs that would accumulate unbounded readers under the
+/// all-readers policy.
+#[test]
+fn reader_retention_bounded_by_2k() {
+    struct ReadStorm;
+    impl Workload for ReadStorm {
+        fn run<'s, C: sfrd::core::Cx<'s>>(&'s self, ctx: &mut C) {
+            // One location, hammered by every strand of 20 futures plus
+            // many strands of the root (spawn/sync chains).
+            ctx.record_write(8);
+            let mut handles = Vec::new();
+            for _ in 0..20 {
+                handles.push(ctx.create(|c| {
+                    for _ in 0..50 {
+                        c.record_read(8);
+                    }
+                }));
+                for _ in 0..5 {
+                    ctx.spawn(|c| c.record_read(8));
+                }
+                ctx.sync();
+            }
+            for h in handles {
+                ctx.get(h);
+            }
+        }
+    }
+    let det = run_sf(&ReadStorm, ReaderPolicy::PerFutureLR, 2);
+    let k = det.reach().future_count() as usize;
+    let max = det.history().unwrap().max_retained_readers();
+    assert!(max <= 2 * k, "retained {max} readers, bound is 2k = {}", 2 * k);
+    // And the storm is race-free (write precedes all creates/spawns).
+    assert_eq!(det.report().total_races, 0);
+
+    // Contrast: the all-readers policy retains far more on the same load.
+    let det_all = run_sf(&ReadStorm, ReaderPolicy::All, 2);
+    let max_all = det_all.history().unwrap().max_retained_readers();
+    assert!(
+        max_all > 2 * k,
+        "all-readers should exceed the 2k bound here ({max_all} vs {})",
+        2 * k
+    );
+}
+
+/// OM relabels are amortized: far fewer relabel passes than inserts even
+/// under hot-spot insertion.
+#[test]
+fn om_relabels_amortized() {
+    let (list, base) = sfrd::om::OmList::new();
+    for _ in 0..50_000 {
+        list.insert_after(base); // worst-case hot spot
+    }
+    let relabels = list.relabel_count();
+    assert!(
+        relabels as usize <= 50_000 / 8,
+        "relabels = {relabels} for 50k hot-spot inserts — amortization broken"
+    );
+}

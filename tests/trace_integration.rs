@@ -1,0 +1,82 @@
+//! Trace record → serialize → parse → offline analysis, end to end, on
+//! real workloads and on parallel executions.
+
+use std::sync::Arc;
+
+use sfrd::core::{drive, DetectorKind, DriveConfig, Mode, RecordingHooks, Workload};
+use sfrd::dag::{read_trace, write_trace};
+use sfrd::runtime::{run_sequential, Runtime};
+use sfrd::workloads::{make_bench, Scale, BENCH_NAMES};
+
+fn roundtrip(prog: &sfrd::dag::RecordedProgram) -> sfrd::dag::RecordedProgram {
+    let mut buf = Vec::new();
+    write_trace(prog, &mut buf).unwrap();
+    read_trace(std::io::Cursor::new(buf)).unwrap()
+}
+
+/// Every benchmark's recorded trace survives serialization with identical
+/// offline analysis results.
+#[test]
+fn suite_traces_roundtrip() {
+    for name in BENCH_NAMES {
+        let hooks = RecordingHooks::new();
+        let w = make_bench(name, Scale::Small, 11);
+        run_sequential(&hooks, |ctx| w.run(ctx));
+        assert!(w.verify_ok());
+        let prog = RecordingHooks::finish(Arc::new(hooks));
+        let back = roundtrip(&prog);
+        assert!(back.validate().is_ok(), "{name}");
+        assert!(back.races().is_empty(), "{name}");
+        assert_eq!(back.dag.work_span(), prog.dag.work_span(), "{name}");
+        assert_eq!(back.dag.future_count(), prog.dag.future_count(), "{name}");
+    }
+}
+
+/// A racy program's trace, recorded under the PARALLEL runtime, yields
+/// the same racy addresses offline as the on-the-fly detector reported.
+#[test]
+fn parallel_trace_offline_matches_online() {
+    use sfrd::core::ShadowArray;
+    use sfrd::runtime::Cx;
+
+    struct Racy {
+        data: ShadowArray<u64>,
+    }
+    impl Workload for Racy {
+        fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+            let h = ctx.create(move |c| {
+                for i in 0..8 {
+                    self.data.write(c, i, 1);
+                }
+            });
+            // Racy: reads slots 4..8 without getting the future first.
+            for i in 4..8 {
+                let _ = self.data.read(ctx, i);
+            }
+            ctx.get(h);
+        }
+    }
+
+    // Online detection.
+    let w = Racy { data: ShadowArray::new(8) };
+    let online = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2));
+    let online_addrs = online.report.unwrap().racy_addrs;
+    assert_eq!(online_addrs.len(), 4);
+
+    // Offline: record (parallel), serialize, parse, analyze.
+    let hooks = Arc::new(RecordingHooks::new());
+    let rt: Runtime<RecordingHooks> = Runtime::new(2);
+    let w2 = Racy { data: ShadowArray::new(8) };
+    rt.run(Arc::clone(&hooks), |ctx| w2.run(ctx));
+    drop(rt);
+    let prog = RecordingHooks::finish(hooks);
+    let back = roundtrip(&prog);
+    let offline_addrs: std::collections::BTreeSet<u64> =
+        back.races().iter().map(|r| r.addr).collect();
+    // Addresses differ between the two instances; compare *indices*.
+    let online_idx: Vec<usize> = (0..8).filter(|&i| online_addrs.contains(&w.data.addr(i))).collect();
+    let offline_idx: Vec<usize> =
+        (0..8).filter(|&i| offline_addrs.contains(&w2.data.addr(i))).collect();
+    assert_eq!(online_idx, offline_idx);
+    assert_eq!(offline_idx, vec![4, 5, 6, 7]);
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every evaluation artifact referenced by EXPERIMENTS.md.
+# Usage: tools/run_experiments.sh [scale] [workers] [reps]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-medium}"
+WORKERS="${2:-2}"
+REPS="${3:-3}"
+
+echo ">> building (release)"
+cargo build --workspace --release
+
+run() {
+  local bin="$1" out="$2"
+  shift 2
+  echo ">> $bin $* -> $out"
+  cargo run -q -p sfrd-bench --release --bin "$bin" -- "$@" | tee "$out"
+}
+
+run fig3_characteristics results_fig3_"$SCALE".txt --scale "$SCALE"
+run fig5_memory          results_fig5_"$SCALE".txt --scale "$SCALE"
+run k_scaling            results_kscaling.txt
+# fig4 last: it is timing-sensitive, keep the machine quiet.
+run fig4_times           results_fig4_"$SCALE".txt --scale "$SCALE" --workers "$WORKERS" --reps "$REPS"
+
+echo ">> done; see results_*.txt"

@@ -15,9 +15,10 @@ use std::hint::black_box;
 fn reader_policy(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/reader_policy");
     g.sample_size(10);
-    for (label, policy) in
-        [("all_readers", ReaderPolicy::All), ("per_future_lr", ReaderPolicy::PerFutureLR)]
-    {
+    for (label, policy) in [
+        ("all_readers", ReaderPolicy::All),
+        ("per_future_lr", ReaderPolicy::PerFutureLR),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let w = make_bench("sw", Scale::Small, 1);
@@ -37,9 +38,10 @@ fn gp_representation(c: &mut Criterion) {
     g.sample_size(10);
     // hw is future-heavy (one per frame×point): the construction cost of
     // the per-create table copies is the differentiator.
-    for (label, kind) in
-        [("bitmaps_sforder", DetectorKind::SfOrder), ("hashtables_forder", DetectorKind::FOrder)]
-    {
+    for (label, kind) in [
+        ("bitmaps_sforder", DetectorKind::SfOrder),
+        ("hashtables_forder", DetectorKind::FOrder),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let w = make_bench("hw", Scale::Small, 1);
@@ -62,7 +64,10 @@ fn access_fast_path(c: &mut Criterion) {
     g.bench_function("locked_every_access", |b| {
         b.iter(|| {
             let w = make_bench("sw", Scale::Small, 1);
-            black_box(drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)));
+            black_box(drive(
+                &w,
+                DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1),
+            ));
         })
     });
     g.bench_function("per_strand_filter", |b| {

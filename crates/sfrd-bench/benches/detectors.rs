@@ -13,12 +13,30 @@ fn bench_workload(c: &mut Criterion, name: &'static str) {
     g.sample_size(10);
     let configs: Vec<(&str, DriveConfig)> = vec![
         ("base", DriveConfig::base(1)),
-        ("multibags_reach", DriveConfig::with(DetectorKind::MultiBags, Mode::Reach, 1)),
-        ("multibags_full", DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)),
-        ("forder_reach", DriveConfig::with(DetectorKind::FOrder, Mode::Reach, 1)),
-        ("forder_full", DriveConfig::with(DetectorKind::FOrder, Mode::Full, 1)),
-        ("sforder_reach", DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1)),
-        ("sforder_full", DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)),
+        (
+            "multibags_reach",
+            DriveConfig::with(DetectorKind::MultiBags, Mode::Reach, 1),
+        ),
+        (
+            "multibags_full",
+            DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1),
+        ),
+        (
+            "forder_reach",
+            DriveConfig::with(DetectorKind::FOrder, Mode::Reach, 1),
+        ),
+        (
+            "forder_full",
+            DriveConfig::with(DetectorKind::FOrder, Mode::Full, 1),
+        ),
+        (
+            "sforder_reach",
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1),
+        ),
+        (
+            "sforder_full",
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1),
+        ),
     ];
     for (label, cfg) in configs {
         g.bench_function(label, |b| {

@@ -79,5 +79,10 @@ fn bench_bitmap_merge(c: &mut Criterion) {
     });
 }
 
-criterion_group!(reach, bench_sp_precedes, bench_bitmap_contains, bench_bitmap_merge);
+criterion_group!(
+    reach,
+    bench_sp_precedes,
+    bench_bitmap_contains,
+    bench_bitmap_merge
+);
 criterion_main!(reach);

@@ -10,9 +10,19 @@ use sfrd_core::{DetectorKind, DriveConfig, Mode};
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("# Figure 3: benchmark execution characteristics (scale: {:?})", args.scale);
-    let mut t =
-        Table::new(&["bench", "input", "# reads", "# writes", "# queries", "# futures", "# nodes"]);
+    println!(
+        "# Figure 3: benchmark execution characteristics (scale: {:?})",
+        args.scale
+    );
+    let mut t = Table::new(&[
+        "bench",
+        "input",
+        "# reads",
+        "# writes",
+        "# queries",
+        "# futures",
+        "# nodes",
+    ]);
     for name in &args.benches {
         let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1);
         let (out, w) = run_bench(name, args.scale, cfg);

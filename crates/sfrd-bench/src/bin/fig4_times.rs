@@ -16,7 +16,9 @@ use sfrd_core::{DetectorKind, DriveConfig};
 fn main() {
     let args = HarnessArgs::parse();
     let p = args.workers;
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "# Figure 4: execution times (scale: {:?}, P = {p}, cores = {cores}, reps = {})",
         args.scale, args.reps
@@ -48,14 +50,27 @@ fn main() {
         ]);
 
         for (label, kind, mode) in fig4_grid() {
-            let t1 = run_bench_timed(name, args.scale, DriveConfig::with(kind, mode, 1), args.reps);
+            let t1 = run_bench_timed(
+                name,
+                args.scale,
+                DriveConfig::with(kind, mode, 1),
+                args.reps,
+            );
             let (tp_cell, ovhp, scal) = if kind == DetectorKind::MultiBags {
                 // Sequential-only: no parallel column.
                 ("-".to_string(), "-".to_string(), "-".to_string())
             } else {
-                let tp =
-                    run_bench_timed(name, args.scale, DriveConfig::with(kind, mode, p), args.reps);
-                (fmt_s(tp.mean), times(tp.mean / basep.mean), times(t1.mean / tp.mean))
+                let tp = run_bench_timed(
+                    name,
+                    args.scale,
+                    DriveConfig::with(kind, mode, p),
+                    args.reps,
+                );
+                (
+                    fmt_s(tp.mean),
+                    times(tp.mean / basep.mean),
+                    times(t1.mean / tp.mean),
+                )
             };
             t.row(vec![
                 name.clone(),

@@ -27,10 +27,16 @@ fn main() {
     let mut total_ratio = 0.0;
     let mut rows = 0usize;
     for name in &args.benches {
-        let (fo, _) =
-            run_bench(name, args.scale, DriveConfig::with(DetectorKind::FOrder, Mode::Reach, 1));
-        let (sf, _) =
-            run_bench(name, args.scale, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1));
+        let (fo, _) = run_bench(
+            name,
+            args.scale,
+            DriveConfig::with(DetectorKind::FOrder, Mode::Reach, 1),
+        );
+        let (sf, _) = run_bench(
+            name,
+            args.scale,
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1),
+        );
         let fb = fo.report.unwrap().reach_bytes;
         let sb = sf.report.unwrap().reach_bytes;
         // Both engines share the SP-order OM lists; the differentiated part
@@ -38,11 +44,19 @@ fn main() {
         let ratio = sb as f64 / fb.max(1) as f64;
         total_ratio += ratio;
         rows += 1;
-        t.row(vec![name.clone(), fmt_bytes(fb), fmt_bytes(sb), format!("{:.1}%", ratio * 100.0)]);
+        t.row(vec![
+            name.clone(),
+            fmt_bytes(fb),
+            fmt_bytes(sb),
+            format!("{:.1}%", ratio * 100.0),
+        ]);
     }
     print!("{}", t.render());
     if rows > 0 {
-        println!("average SF-Order/F-Order memory: {:.1}%", total_ratio / rows as f64 * 100.0);
+        println!(
+            "average SF-Order/F-Order memory: {:.1}%",
+            total_ratio / rows as f64 * 100.0
+        );
         println!("(paper: 1.29% of F-Order's usage on average, Fig. 5)");
     }
 }

@@ -39,7 +39,10 @@ impl Workload for FutureChain {
 }
 
 fn main() {
-    let kmax: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8192);
+    let kmax: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8192);
     println!("# k-scaling of reachability construction (reach config, 1 worker)");
     let mut t = Table::new(&["k", "SF-Order (ms)", "F-Order (ms)", "SF bytes", "F bytes"]);
     let mut k = 512;

@@ -46,7 +46,10 @@ fn main() {
             let hooks = RecordingHooks::new();
             let w = make_bench(name, scale, 0xBE7C);
             run_sequential(&hooks, |ctx| w.run(ctx));
-            assert!(w.verify_ok(), "workload failed verification while recording");
+            assert!(
+                w.verify_ok(),
+                "workload failed verification while recording"
+            );
             let recorded = RecordingHooks::finish(Arc::new(hooks));
             let file = std::fs::File::create(path).expect("create trace file");
             write_trace(&recorded, BufWriter::new(file)).expect("write trace");
@@ -70,7 +73,10 @@ fn main() {
                 recorded.dag.edge_count(),
                 recorded.log.len()
             );
-            println!("work = {work}, span = {span}, parallelism = {:.2}", work as f64 / span.max(1) as f64);
+            println!(
+                "work = {work}, span = {span}, parallelism = {:.2}",
+                work as f64 / span.max(1) as f64
+            );
             match recorded.validate() {
                 Ok(()) => println!("structured-future restrictions: OK"),
                 Err(e) => println!("STRUCTURE VIOLATION: {e}"),

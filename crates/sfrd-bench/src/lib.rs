@@ -20,9 +20,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use sfrd_core::{
-    drive, DetectorKind, DriveConfig, Mode, Outcome, RecordingHooks, Workload,
-};
+use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, Outcome, RecordingHooks, Workload};
 use sfrd_runtime::run_sequential;
 use sfrd_workloads::{make_bench, AnyBench, Scale, BENCH_NAMES};
 
@@ -85,7 +83,12 @@ impl HarnessArgs {
         if benches.is_empty() {
             benches = BENCH_NAMES.iter().map(|s| s.to_string()).collect();
         }
-        Self { scale, workers, benches, reps }
+        Self {
+            scale,
+            workers,
+            benches,
+            reps,
+        }
     }
 }
 
@@ -103,16 +106,26 @@ fn usage(err: &str) -> ! {
 /// Default `P`: the machine's cores, capped at 8 (the harness is expected
 /// to run on shared CI boxes).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 8).max(2)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+        .max(2)
 }
 
 /// Run benchmark `name` fresh under `cfg`, asserting the result verifies.
 pub fn run_bench(name: &str, scale: Scale, cfg: DriveConfig) -> (Outcome, AnyBench) {
     let w = make_bench(name, scale, 0xBE7C);
     let out = drive(&w, cfg);
-    assert!(w.verify_ok(), "{name} produced a wrong result under {cfg:?}");
+    assert!(
+        w.verify_ok(),
+        "{name} produced a wrong result under {cfg:?}"
+    );
     if let Some(rep) = &out.report {
-        assert_eq!(rep.total_races, 0, "{name} reported races under {cfg:?} — detector bug");
+        assert_eq!(
+            rep.total_races, 0,
+            "{name} reported races under {cfg:?} — detector bug"
+        );
     }
     (out, w)
 }
@@ -139,15 +152,19 @@ impl Timing {
 
 /// Run a cell `reps` times; returns mean/sd (each run re-verifies).
 pub fn run_bench_timed(name: &str, scale: Scale, cfg: DriveConfig, reps: usize) -> Timing {
-    let samples: Vec<f64> =
-        (0..reps.max(1)).map(|_| run_bench(name, scale, cfg).0.wall.as_secs_f64()).collect();
+    let samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| run_bench(name, scale, cfg).0.wall.as_secs_f64())
+        .collect();
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let var = if samples.len() > 1 {
         samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (samples.len() - 1) as f64
     } else {
         0.0
     };
-    Timing { mean, sd: var.sqrt() }
+    Timing {
+        mean,
+        sd: var.sqrt(),
+    }
 }
 
 /// Work and span of the recorded dag (node weights = instrumented
@@ -194,8 +211,10 @@ pub struct Table {
 impl Table {
     /// Start a table with a header row.
     pub fn new(header: &[&str]) -> Self {
-        let mut t =
-            Table { widths: header.iter().map(|h| h.len()).collect(), rows: Vec::new() };
+        let mut t = Table {
+            widths: header.iter().map(|h| h.len()).collect(),
+            rows: Vec::new(),
+        };
         t.row(header.iter().map(|s| s.to_string()).collect());
         t
     }
@@ -267,7 +286,10 @@ mod tests {
     #[test]
     fn work_span_is_positive_and_parallel() {
         let (work, span) = work_span("sw", Scale::Small);
-        assert!(work > span, "sw must have parallelism: T1={work} Tinf={span}");
+        assert!(
+            work > span,
+            "sw must have parallelism: T1={work} Tinf={span}"
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl TaskHooks for SfDetector {
     type Strand = SfStrand;
 
     fn root(&self) -> SfStrand {
-        self.root.lock().take().expect("SfDetector is one-shot: root strand already taken")
+        self.root
+            .lock()
+            .take()
+            .expect("SfDetector is one-shot: root strand already taken")
     }
 
     fn on_spawn(&self, parent: &mut SfStrand) -> SfStrand {
@@ -263,7 +266,10 @@ impl TaskHooks for FoDetector {
     type Strand = FoStrand;
 
     fn root(&self) -> FoStrand {
-        self.root.lock().take().expect("FoDetector is one-shot: root strand already taken")
+        self.root
+            .lock()
+            .take()
+            .expect("FoDetector is one-shot: root strand already taken")
     }
 
     fn on_spawn(&self, parent: &mut FoStrand) -> FoStrand {
@@ -305,7 +311,8 @@ impl TaskHooks for FoDetector {
                 }
             }
             // All-readers policy: comparators are never consulted.
-            e.readers.record(s.future().0, pos, |_, _| false, |_, _| false, |_, _| false);
+            e.readers
+                .record(s.future().0, pos, |_, _| false, |_, _| false, |_, _| false);
         });
     }
 
@@ -379,7 +386,10 @@ impl TaskHooks for MbDetector {
     type Strand = MbStrand;
 
     fn root(&self) -> MbStrand {
-        self.root.lock().take().expect("MbDetector is one-shot: root strand already taken")
+        self.root
+            .lock()
+            .take()
+            .expect("MbDetector is one-shot: root strand already taken")
     }
 
     fn on_spawn(&self, parent: &mut MbStrand) -> MbStrand {
@@ -428,7 +438,8 @@ impl TaskHooks for MbDetector {
                     }
                 }
             }
-            e.readers.record(s.future().0, pos, |_, _| false, |_, _| false, |_, _| false);
+            e.readers
+                .record(s.future().0, pos, |_, _| false, |_, _| false, |_, _| false);
         });
     }
 

@@ -112,7 +112,10 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
                 Mode::Full => {
                     let det = Arc::new($make(Mode::Full));
                     let wall = timed(w, Arc::clone(&det), &cfg);
-                    Outcome { wall, report: Some(det.report()) }
+                    Outcome {
+                        wall,
+                        report: Some(det.report()),
+                    }
                 }
                 // The reach configuration is a separate "build": the
                 // ReachOnly wrapper deletes the access path at
@@ -121,7 +124,10 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
                 Mode::Reach => {
                     let det = Arc::new(ReachOnly($make(Mode::Reach)));
                     let wall = timed(w, Arc::clone(&det), &cfg);
-                    Outcome { wall, report: Some(det.0.report()) }
+                    Outcome {
+                        wall,
+                        report: Some(det.0.report()),
+                    }
                 }
             }
         }};
@@ -208,7 +214,9 @@ mod tests {
 
     #[test]
     fn race_free_workload_reports_nothing() {
-        let w = Disjoint { data: ShadowArray::new(64) };
+        let w = Disjoint {
+            data: ShadowArray::new(64),
+        };
         for cfg in all_full_configs() {
             let out = drive(&w, cfg);
             let rep = out.report.unwrap();
@@ -220,7 +228,9 @@ mod tests {
     #[test]
     fn racy_workload_always_detected() {
         for cfg in all_full_configs() {
-            let w = Racy { data: ShadowArray::new(1) };
+            let w = Racy {
+                data: ShadowArray::new(1),
+            };
             let out = drive(&w, cfg);
             let rep = out.report.unwrap();
             assert!(rep.total_races > 0, "config {cfg:?} missed the race");
@@ -230,7 +240,9 @@ mod tests {
 
     #[test]
     fn reach_mode_skips_access_work() {
-        let w = Racy { data: ShadowArray::new(1) };
+        let w = Racy {
+            data: ShadowArray::new(1),
+        };
         let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 2));
         let rep = out.report.unwrap();
         assert_eq!(rep.total_races, 0, "reach mode performs no access checks");
@@ -241,7 +253,9 @@ mod tests {
 
     #[test]
     fn base_config_runs_without_report() {
-        let w = Disjoint { data: ShadowArray::new(32) };
+        let w = Disjoint {
+            data: ShadowArray::new(32),
+        };
         let out = drive(&w, DriveConfig::base(2));
         assert!(out.report.is_none());
     }
@@ -249,7 +263,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "sequential runtime")]
     fn multibags_rejects_parallel() {
-        let w = Racy { data: ShadowArray::new(1) };
+        let w = Racy {
+            data: ShadowArray::new(1),
+        };
         let cfg = DriveConfig {
             sequential: false,
             ..DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 2)

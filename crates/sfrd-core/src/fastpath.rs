@@ -34,7 +34,9 @@ pub struct AccessFilter {
 
 impl AccessFilter {
     fn new() -> Self {
-        Self { slots: Box::new([(0, false); WAYS]) }
+        Self {
+            slots: Box::new([(0, false); WAYS]),
+        }
     }
 
     #[inline]
@@ -93,22 +95,34 @@ impl<H: TaskHooks> TaskHooks for FastPath<H> {
     type Strand = FpStrand<H::Strand>;
 
     fn root(&self) -> Self::Strand {
-        FpStrand { inner: self.0.root(), filter: AccessFilter::new() }
+        FpStrand {
+            inner: self.0.root(),
+            filter: AccessFilter::new(),
+        }
     }
 
     fn on_spawn(&self, p: &mut Self::Strand) -> Self::Strand {
         p.filter.clear(); // position changes at the fork
-        FpStrand { inner: self.0.on_spawn(&mut p.inner), filter: AccessFilter::new() }
+        FpStrand {
+            inner: self.0.on_spawn(&mut p.inner),
+            filter: AccessFilter::new(),
+        }
     }
 
     fn on_create(&self, p: &mut Self::Strand) -> Self::Strand {
         p.filter.clear();
-        FpStrand { inner: self.0.on_create(&mut p.inner), filter: AccessFilter::new() }
+        FpStrand {
+            inner: self.0.on_create(&mut p.inner),
+            filter: AccessFilter::new(),
+        }
     }
 
     fn on_sync(&self, s: &mut Self::Strand, children: Vec<Self::Strand>) {
         s.filter.clear();
-        self.0.on_sync(&mut s.inner, children.into_iter().map(|c| c.inner).collect());
+        self.0.on_sync(
+            &mut s.inner,
+            children.into_iter().map(|c| c.inner).collect(),
+        );
     }
 
     fn on_get(&self, s: &mut Self::Strand, done: &Self::Strand) {
@@ -171,7 +185,10 @@ mod tests {
         for _ in 0..20 {
             let prog = GenProgram::random(
                 &mut rng,
-                &GenParams { addr_space: 4, ..Default::default() },
+                &GenParams {
+                    addr_space: 4,
+                    ..Default::default()
+                },
             );
             let plain = Arc::new(SfDetector::new(Mode::Full, ReaderPolicy::All));
             let rt: Runtime<SfDetector> = Runtime::new(2);

@@ -50,9 +50,9 @@ pub mod shared;
 pub mod wsp;
 
 pub use detectors::{FoDetector, MbDetector, Mode, ReachOnly, SfDetector};
+pub use driver::{drive, DetectorKind, DriveConfig, Outcome, Workload};
 pub use fastpath::{FastPath, FpStrand};
 pub use recording::{GenWorkload, RecordingHooks};
-pub use driver::{drive, DetectorKind, DriveConfig, Outcome, Workload};
 pub use report::{CountsSnapshot, Race, RaceCollector, RaceKind, RaceReport};
 pub use shared::{ShadowArray, ShadowCell, ShadowMatrix};
 pub use wsp::{WspDetector, WspStrand};

@@ -33,7 +33,10 @@ impl RecordingHooks {
     /// New one-shot recorder hooks.
     pub fn new() -> Self {
         let (rec, root) = Recorder::new();
-        Self { rec, root: Mutex::new(Some(root)) }
+        Self {
+            rec,
+            root: Mutex::new(Some(root)),
+        }
     }
 
     /// Extract the recorded program (sole-owner operation; call after the
@@ -170,6 +173,9 @@ mod tests {
         let prog = RecordingHooks::finish(rec);
         assert_eq!(prog.dag.future_count(), 2);
         assert_eq!(prog.log.len(), 3);
-        assert!(prog.races().is_empty(), "write-get-ordered accesses don't race");
+        assert!(
+            prog.races().is_empty(),
+            "write-get-ordered accesses don't race"
+        );
     }
 }

@@ -172,7 +172,13 @@ mod tests {
 
     #[test]
     fn node_estimate() {
-        let s = CountsSnapshot { spawns: 2, futures: 1, syncs: 1, gets: 1, ..Default::default() };
+        let s = CountsSnapshot {
+            spawns: 2,
+            futures: 1,
+            syncs: 1,
+            gets: 1,
+            ..Default::default()
+        };
         assert_eq!(s.nodes(), 1 + 6 + 1 + 1);
     }
 }

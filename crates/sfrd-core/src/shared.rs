@@ -30,7 +30,9 @@ impl<T: Copy> ShadowArray<T> {
     /// Array initialized by index.
     pub fn from_fn(len: usize, f: impl FnMut(usize) -> T) -> Self {
         let mut f = f;
-        Self { cells: (0..len).map(|i| AtomicCell::new(f(i))).collect() }
+        Self {
+            cells: (0..len).map(|i| AtomicCell::new(f(i))).collect(),
+        }
     }
 
     /// Number of elements.
@@ -93,7 +95,9 @@ pub struct ShadowCell<T> {
 impl<T: Copy> ShadowCell<T> {
     /// New cell.
     pub fn new(v: T) -> Self {
-        Self { cell: Box::new(AtomicCell::new(v)) }
+        Self {
+            cell: Box::new(AtomicCell::new(v)),
+        }
     }
 
     /// Shadow address.
@@ -132,14 +136,20 @@ pub struct ShadowMatrix<T> {
 impl<T: Copy + Default> ShadowMatrix<T> {
     /// `rows × cols` matrix of defaults.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { data: ShadowArray::new(rows * cols), cols }
+        Self {
+            data: ShadowArray::new(rows * cols),
+            cols,
+        }
     }
 }
 
 impl<T: Copy> ShadowMatrix<T> {
     /// Matrix initialized by `(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
-        Self { data: ShadowArray::from_fn(rows * cols, |i| f(i / cols, i % cols)), cols }
+        Self {
+            data: ShadowArray::from_fn(rows * cols, |i| f(i / cols, i % cols)),
+            cols,
+        }
     }
 
     /// Number of rows.

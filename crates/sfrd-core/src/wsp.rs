@@ -69,12 +69,16 @@ impl TaskHooks for WspDetector {
     type Strand = WspStrand;
 
     fn root(&self) -> WspStrand {
-        WspStrand { sp: self.root.lock().take().expect("WspDetector is one-shot") }
+        WspStrand {
+            sp: self.root.lock().take().expect("WspDetector is one-shot"),
+        }
     }
 
     fn on_spawn(&self, parent: &mut WspStrand) -> WspStrand {
         Counters::bump(&self.counters.spawns);
-        WspStrand { sp: self.sp.fork(&mut parent.sp) }
+        WspStrand {
+            sp: self.sp.fork(&mut parent.sp),
+        }
     }
 
     fn on_create(&self, _parent: &mut WspStrand) -> WspStrand {

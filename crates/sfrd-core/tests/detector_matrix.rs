@@ -89,7 +89,10 @@ fn fastpath_wrapped_detectors_agree_with_plain() {
     for _ in 0..10 {
         let prog = GenProgram::random(
             &mut rng,
-            &GenParams { addr_space: 3, ..Default::default() },
+            &GenParams {
+                addr_space: 3,
+                ..Default::default()
+            },
         );
 
         let plain = Arc::new(FoDetector::new(Mode::Full));
@@ -104,7 +107,11 @@ fn fastpath_wrapped_detectors_agree_with_plain() {
         rt.run(Arc::clone(&fast), |ctx| w2.run(ctx));
         drop(rt);
 
-        assert_eq!(plain.report().racy_addrs, fast.0.report().racy_addrs, "{prog:?}");
+        assert_eq!(
+            plain.report().racy_addrs,
+            fast.0.report().racy_addrs,
+            "{prog:?}"
+        );
         // The filter never admits MORE accesses than happened.
         assert!(fast.0.report().counts.reads <= plain.report().counts.reads);
     }

@@ -283,9 +283,9 @@ mod tests {
             let (rec, mut root) = Recorder::new();
             replay(&prog, &mut (&rec), &mut root);
             let recorded = rec.finish();
-            recorded
-                .validate()
-                .unwrap_or_else(|e| panic!("generator produced unstructured program: {e}\n{prog:?}"));
+            recorded.validate().unwrap_or_else(|e| {
+                panic!("generator produced unstructured program: {e}\n{prog:?}")
+            });
             let (_, creates) = prog.counts();
             assert_eq!(recorded.dag.future_count(), creates + 1);
         }
@@ -294,7 +294,10 @@ mod tests {
     #[test]
     fn deep_programs_hit_budget() {
         let mut rng = StdRng::seed_from_u64(7);
-        let params = GenParams { max_tasks: 5, ..Default::default() };
+        let params = GenParams {
+            max_tasks: 5,
+            ..Default::default()
+        };
         for _ in 0..20 {
             let prog = GenProgram::random(&mut rng, &params);
             let (s, c) = prog.counts();
@@ -322,7 +325,11 @@ mod tests {
         // With a tiny address space, races appear quickly; assert the
         // generator actually exercises the racy regime.
         let mut rng = StdRng::seed_from_u64(1);
-        let params = GenParams { addr_space: 2, write_prob: 0.8, ..Default::default() };
+        let params = GenParams {
+            addr_space: 2,
+            write_prob: 0.8,
+            ..Default::default()
+        };
         let mut found = false;
         for _ in 0..30 {
             let prog = GenProgram::random(&mut rng, &params);

@@ -38,7 +38,10 @@ impl EdgeKind {
     /// True for edges connecting nodes of the same future task.
     #[inline]
     pub fn is_sp(self) -> bool {
-        matches!(self, EdgeKind::Continue | EdgeKind::SpawnChild | EdgeKind::SyncJoin)
+        matches!(
+            self,
+            EdgeKind::Continue | EdgeKind::SpawnChild | EdgeKind::SyncJoin
+        )
     }
 }
 
@@ -101,16 +104,30 @@ impl Dag {
     /// Add a node, returning its id.
     pub fn add_node(&mut self, future: FutureId, kind: NodeKind) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("dag too large"));
-        self.nodes.push(NodeInfo { future, kind, weight: 1 });
+        self.nodes.push(NodeInfo {
+            future,
+            kind,
+            weight: 1,
+        });
         self.succs.push(Vec::new());
         self.preds.push(Vec::new());
         id
     }
 
     /// Register a future whose first node is `first`.
-    pub fn add_future(&mut self, first: NodeId, created_by: Option<NodeId>, parent: Option<FutureId>) -> FutureId {
+    pub fn add_future(
+        &mut self,
+        first: NodeId,
+        created_by: Option<NodeId>,
+        parent: Option<FutureId>,
+    ) -> FutureId {
         let id = FutureId(u32::try_from(self.futures.len()).expect("too many futures"));
-        self.futures.push(FutureInfo { first, last: None, created_by, parent });
+        self.futures.push(FutureInfo {
+            first,
+            last: None,
+            created_by,
+            parent,
+        });
         id
     }
 
@@ -296,7 +313,12 @@ impl Dag {
         let mut s = String::from("digraph sfdag {\n  rankdir=TB;\n");
         for n in self.node_ids() {
             let info = self.node(n);
-            writeln!(s, "  {} [label=\"{} {:?}\\n{}\"];", n.0, n, info.kind, info.future).unwrap();
+            writeln!(
+                s,
+                "  {} [label=\"{} {:?}\\n{}\"];",
+                n.0, n, info.kind, info.future
+            )
+            .unwrap();
         }
         for n in self.node_ids() {
             for &(m, k) in self.succs(n) {
@@ -336,7 +358,10 @@ impl std::fmt::Display for StructureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StructureError::MultipleGets { future } => {
-                write!(f, "future {future} gotten more than once (single-touch violated)")
+                write!(
+                    f,
+                    "future {future} gotten more than once (single-touch violated)"
+                )
             }
             StructureError::GetNotAfterCreate { future, get } => write!(
                 f,
@@ -410,8 +435,14 @@ mod tests {
         d.set_future_last(FutureId::ROOT, g);
         // In PSP, F joins at the root's task-end (node g here).
         let psp = d.psp(&[(f, g)]);
-        assert!(psp.succs(first).iter().any(|&(n, k)| n == g && k == EdgeKind::PspJoin));
-        assert!(!psp.succs(first).iter().any(|&(_, k)| k == EdgeKind::GetReturn));
+        assert!(psp
+            .succs(first)
+            .iter()
+            .any(|&(n, k)| n == g && k == EdgeKind::PspJoin));
+        assert!(!psp
+            .succs(first)
+            .iter()
+            .any(|&(_, k)| k == EdgeKind::GetReturn));
         assert_eq!(psp.edge_count(), d.edge_count()); // one dropped, one added
     }
 
@@ -432,7 +463,10 @@ mod tests {
         d.add_edge(first, g1, EdgeKind::GetReturn);
         d.add_edge(first, g2, EdgeKind::GetReturn);
         d.set_future_last(f, first);
-        assert_eq!(d.validate_structured(), Err(StructureError::MultipleGets { future: f }));
+        assert_eq!(
+            d.validate_structured(),
+            Err(StructureError::MultipleGets { future: f })
+        );
     }
 
     #[test]

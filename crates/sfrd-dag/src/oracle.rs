@@ -39,7 +39,11 @@ impl ReachOracle {
                 reached_by[vi * words + ui / 64] |= 1u64 << (ui % 64);
             }
         }
-        Self { n, words, reached_by }
+        Self {
+            n,
+            words,
+            reached_by,
+        }
     }
 
     /// True iff there is a non-empty path `u ; v`.
@@ -169,18 +173,45 @@ mod tests {
     fn race_oracle_finds_parallel_write() {
         let (d, [u, a, b, s]) = diamond();
         let log = vec![
-            Access { node: u, addr: 1, is_write: true },
-            Access { node: a, addr: 1, is_write: true },
-            Access { node: b, addr: 1, is_write: false },
-            Access { node: s, addr: 1, is_write: true },
-            Access { node: a, addr: 2, is_write: false },
-            Access { node: b, addr: 2, is_write: false },
+            Access {
+                node: u,
+                addr: 1,
+                is_write: true,
+            },
+            Access {
+                node: a,
+                addr: 1,
+                is_write: true,
+            },
+            Access {
+                node: b,
+                addr: 1,
+                is_write: false,
+            },
+            Access {
+                node: s,
+                addr: 1,
+                is_write: true,
+            },
+            Access {
+                node: a,
+                addr: 2,
+                is_write: false,
+            },
+            Access {
+                node: b,
+                addr: 2,
+                is_write: false,
+            },
         ];
         let races = race_oracle(&d, &log);
         // Only a/b conflict in parallel on addr 1; addr 2 is read/read.
         assert_eq!(races.len(), 1);
         assert!(races.contains(&RacePair::new(1, a, b)));
-        assert_eq!(racy_addrs(&d, &log).into_iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            racy_addrs(&d, &log).into_iter().collect::<Vec<_>>(),
+            vec![1]
+        );
     }
 
     #[test]

@@ -107,8 +107,14 @@ mod tests {
         let b = NodeId(1);
         let c = NodeId(2);
         assert!(is_canonical(&[]));
-        assert!(is_canonical(&[(a, EdgeKind::GetReturn, b), (b, EdgeKind::CreateChild, c)]));
-        assert!(!is_canonical(&[(a, EdgeKind::CreateChild, b), (b, EdgeKind::GetReturn, c)]));
+        assert!(is_canonical(&[
+            (a, EdgeKind::GetReturn, b),
+            (b, EdgeKind::CreateChild, c)
+        ]));
+        assert!(!is_canonical(&[
+            (a, EdgeKind::CreateChild, b),
+            (b, EdgeKind::GetReturn, c)
+        ]));
     }
 
     /// Lemma 3.2 on random programs: wherever the oracle says `u ; v`, a
@@ -119,7 +125,11 @@ mod tests {
         for _ in 0..40 {
             let prog = GenProgram::random(
                 &mut rng,
-                &GenParams { max_tasks: 16, max_body_len: 5, ..Default::default() },
+                &GenParams {
+                    max_tasks: 16,
+                    max_body_len: 5,
+                    ..Default::default()
+                },
             );
             let (rec, mut root) = Recorder::new();
             replay(&prog, &mut (&rec), &mut root);
@@ -179,8 +189,14 @@ mod tests {
         assert_eq!(creates, 1);
         assert_eq!(sp, p.len() - 2);
         // Get edge must come before the create edge.
-        let get_idx = p.iter().position(|&(_, k, _)| k == EdgeKind::GetReturn).unwrap();
-        let create_idx = p.iter().position(|&(_, k, _)| k == EdgeKind::CreateChild).unwrap();
+        let get_idx = p
+            .iter()
+            .position(|&(_, k, _)| k == EdgeKind::GetReturn)
+            .unwrap();
+        let create_idx = p
+            .iter()
+            .position(|&(_, k, _)| k == EdgeKind::CreateChild)
+            .unwrap();
         assert!(get_idx < create_idx);
     }
 }

@@ -61,10 +61,18 @@ impl Recorder {
         let f = dag.add_future(root, None, None);
         debug_assert_eq!(f, FutureId::ROOT);
         let rec = Self {
-            inner: Mutex::new(RecInner { dag, psp_joins: Vec::new(), log: Vec::new() }),
+            inner: Mutex::new(RecInner {
+                dag,
+                psp_joins: Vec::new(),
+                log: Vec::new(),
+            }),
         };
-        let strand =
-            RecStrand { node: root, future: FutureId::ROOT, owns_future: true, pending_creates: Vec::new() };
+        let strand = RecStrand {
+            node: root,
+            future: FutureId::ROOT,
+            owns_future: true,
+            pending_creates: Vec::new(),
+        };
         (rec, strand)
     }
 
@@ -77,7 +85,12 @@ impl Recorder {
         inner.dag.add_edge(s.node, child, EdgeKind::SpawnChild);
         inner.dag.add_edge(s.node, cont, EdgeKind::Continue);
         s.node = cont;
-        RecStrand { node: child, future: s.future, owns_future: false, pending_creates: Vec::new() }
+        RecStrand {
+            node: child,
+            future: s.future,
+            owns_future: false,
+            pending_creates: Vec::new(),
+        }
     }
 
     /// Record a `create`: like spawn, but the child starts a fresh future.
@@ -92,7 +105,12 @@ impl Recorder {
         inner.dag.add_edge(s.node, cont, EdgeKind::Continue);
         s.node = cont;
         s.pending_creates.push(fid);
-        RecStrand { node: first, future: fid, owns_future: true, pending_creates: Vec::new() }
+        RecStrand {
+            node: first,
+            future: fid,
+            owns_future: true,
+            pending_creates: Vec::new(),
+        }
     }
 
     /// Record a `sync` joining the given completed spawned children.
@@ -107,7 +125,10 @@ impl Recorder {
         inner.dag.add_edge(s.node, j, EdgeKind::Continue);
         for c in children {
             debug_assert_eq!(c.future, s.future, "sync joins same-future children only");
-            debug_assert!(c.pending_creates.is_empty(), "child ended with unflushed creates");
+            debug_assert!(
+                c.pending_creates.is_empty(),
+                "child ended with unflushed creates"
+            );
             inner.dag.add_edge(c.node, j, EdgeKind::SyncJoin);
         }
         for f in s.pending_creates.drain(..) {
@@ -149,14 +170,22 @@ impl Recorder {
     /// Record a shared-memory access by the strand.
     pub fn access(&self, s: &RecStrand, addr: u64, is_write: bool) {
         let mut inner = self.inner.lock();
-        inner.log.push(Access { node: s.node, addr, is_write });
+        inner.log.push(Access {
+            node: s.node,
+            addr,
+            is_write,
+        });
         inner.dag.add_weight(s.node, 1);
     }
 
     /// Finish recording.
     pub fn finish(self) -> RecordedProgram {
         let inner = self.inner.into_inner();
-        RecordedProgram { dag: inner.dag, psp_joins: inner.psp_joins, log: inner.log }
+        RecordedProgram {
+            dag: inner.dag,
+            psp_joins: inner.psp_joins,
+            log: inner.log,
+        }
     }
 }
 
@@ -201,7 +230,9 @@ mod tests {
         prog.validate().unwrap();
         // The get edge sequences the future's write before the root's read.
         assert!(prog.races().is_empty());
-        let o = ReachOracle::build(&prog.dag, |k| k.is_sp() || k == EdgeKind::CreateChild || k == EdgeKind::GetReturn);
+        let o = ReachOracle::build(&prog.dag, |k| {
+            k.is_sp() || k == EdgeKind::CreateChild || k == EdgeKind::GetReturn
+        });
         let f_last = prog.dag.future(FutureId(1)).last.unwrap();
         // last(F) reaches the root's final node.
         let root_last = prog.dag.future(FutureId::ROOT).last.unwrap();
@@ -226,7 +257,10 @@ mod tests {
         let o = ReachOracle::build(&psp, |_| true);
         let f_last = prog.dag.future(FutureId(1)).last.unwrap();
         let root_last = prog.dag.future(FutureId::ROOT).last.unwrap();
-        assert!(o.reaches(f_last, root_last), "PSP must join the escaping future");
+        assert!(
+            o.reaches(f_last, root_last),
+            "PSP must join the escaping future"
+        );
     }
 
     #[test]

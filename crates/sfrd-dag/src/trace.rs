@@ -99,7 +99,13 @@ pub fn write_trace(prog: &RecordedProgram, mut out: impl Write) -> std::io::Resu
     writeln!(out, "sfrdtrace v1")?;
     for n in prog.dag.node_ids() {
         let info = prog.dag.node(n);
-        writeln!(out, "node {} {} {}", info.future.0, kind_tag(info.kind), info.weight)?;
+        writeln!(
+            out,
+            "node {} {} {}",
+            info.future.0,
+            kind_tag(info.kind),
+            info.weight
+        )?;
     }
     let opt = |x: Option<u32>| x.map_or_else(|| "-".to_string(), |v| v.to_string());
     for f in prog.dag.future_ids() {
@@ -122,7 +128,13 @@ pub fn write_trace(prog: &RecordedProgram, mut out: impl Write) -> std::io::Resu
         writeln!(out, "psp {} {}", f.0, j.0)?;
     }
     for a in &prog.log {
-        writeln!(out, "access {} {:x} {}", a.node.0, a.addr, if a.is_write { "w" } else { "r" })?;
+        writeln!(
+            out,
+            "access {} {:x} {}",
+            a.node.0,
+            a.addr,
+            if a.is_write { "w" } else { "r" }
+        )?;
     }
     writeln!(out, "end")?;
     Ok(())
@@ -135,7 +147,9 @@ pub fn read_trace(input: impl BufRead) -> Result<RecordedProgram, TraceError> {
     let mut log = Vec::new();
     let mut saw_header = false;
     let mut saw_end = false;
-    let mut futures: Vec<(NodeId, Option<NodeId>, Option<NodeId>, Option<FutureId>)> = Vec::new();
+    // Per `future` record: (first node, last node, creator node, parent future).
+    type FutureRecord = (NodeId, Option<NodeId>, Option<NodeId>, Option<FutureId>);
+    let mut futures: Vec<FutureRecord> = Vec::new();
     for (i, line) in input.lines().enumerate() {
         let lineno = i + 1;
         let line = line?;
@@ -221,17 +235,29 @@ pub fn read_trace(input: impl BufRead) -> Result<RecordedProgram, TraceError> {
                 if node.index() >= dag.node_count() {
                     return Err(err("access node out of range"));
                 }
-                log.push(Access { node, addr, is_write });
+                log.push(Access {
+                    node,
+                    addr,
+                    is_write,
+                });
             }
             "end" => {
                 saw_end = true;
                 break;
             }
-            other => return Err(TraceError::Parse(lineno, format!("unknown record {other:?}"))),
+            other => {
+                return Err(TraceError::Parse(
+                    lineno,
+                    format!("unknown record {other:?}"),
+                ))
+            }
         }
     }
     if !saw_end {
-        return Err(TraceError::Parse(0, "truncated trace (no 'end' record)".into()));
+        return Err(TraceError::Parse(
+            0,
+            "truncated trace (no 'end' record)".into(),
+        ));
     }
     for (first, last, creator, parent) in futures {
         let f = dag.add_future(first, creator, parent);
@@ -239,7 +265,11 @@ pub fn read_trace(input: impl BufRead) -> Result<RecordedProgram, TraceError> {
             dag.set_future_last(f, l);
         }
     }
-    Ok(RecordedProgram { dag, psp_joins, log })
+    Ok(RecordedProgram {
+        dag,
+        psp_joins,
+        log,
+    })
 }
 
 #[cfg(test)]
@@ -269,7 +299,11 @@ mod tests {
             assert_eq!(back.dag.future_count(), prog.dag.future_count());
             assert_eq!(back.psp_joins, prog.psp_joins);
             assert_eq!(back.log, prog.log);
-            assert_eq!(back.races(), prog.races(), "race analysis must survive the roundtrip");
+            assert_eq!(
+                back.races(),
+                prog.races(),
+                "race analysis must survive the roundtrip"
+            );
             assert_eq!(back.validate().is_ok(), prog.validate().is_ok());
             for n in prog.dag.node_ids() {
                 assert_eq!(back.dag.node(n).future, prog.dag.node(n).future);

@@ -29,7 +29,8 @@ fn locate(index: usize) -> (usize, usize) {
     // Buckets have sizes BASE, 2*BASE, 4*BASE, ...; prefix sums are
     // BASE*(2^k - 1). Shifting by BASE turns this into pure bit math.
     let adjusted = index + BASE;
-    let bucket = (usize::BITS - 1 - adjusted.leading_zeros()) as usize - BASE.trailing_zeros() as usize;
+    let bucket =
+        (usize::BITS - 1 - adjusted.leading_zeros()) as usize - BASE.trailing_zeros() as usize;
     let offset = adjusted - (BASE << bucket);
     (bucket, offset)
 }
@@ -111,7 +112,9 @@ impl<T> AppendArena<T> {
             return 0;
         }
         let (last_bucket, _) = locate(len - 1);
-        (0..=last_bucket).map(|b| bucket_capacity(b) * std::mem::size_of::<T>()).sum()
+        (0..=last_bucket)
+            .map(|b| bucket_capacity(b) * std::mem::size_of::<T>())
+            .sum()
     }
 }
 

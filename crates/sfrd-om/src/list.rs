@@ -97,7 +97,11 @@ impl OmList {
             items: AppendArena::new(),
             groups: AppendArena::new(),
             seq: AtomicU64::new(0),
-            lock: Mutex::new(Inner { head_group: 0, tail_group: 0, relabels: 0 }),
+            lock: Mutex::new(Inner {
+                head_group: 0,
+                tail_group: 0,
+                relabels: 0,
+            }),
         };
         // SAFETY: no other threads exist yet.
         unsafe {
@@ -182,7 +186,10 @@ impl OmList {
                 if succ == NIL {
                     group.last.store(new, Ordering::Relaxed);
                 } else {
-                    self.items.get(succ as usize).prev.store(new, Ordering::Relaxed);
+                    self.items
+                        .get(succ as usize)
+                        .prev
+                        .store(new, Ordering::Relaxed);
                 }
                 let count = group.count.load(Ordering::Relaxed) + 1;
                 group.count.store(count, Ordering::Relaxed);
@@ -251,13 +258,22 @@ impl OmList {
         if next_gidx == NIL {
             inner.tail_group = new_gidx;
         } else {
-            self.groups.get(next_gidx as usize).prev.store(new_gidx, Ordering::Relaxed);
+            self.groups
+                .get(next_gidx as usize)
+                .prev
+                .store(new_gidx, Ordering::Relaxed);
         }
         group.next.store(new_gidx, Ordering::Relaxed);
         // Detach the tail half from the old group.
         let cut_prev = self.items.get(cut as usize).prev.load(Ordering::Relaxed);
-        self.items.get(cut as usize).prev.store(NIL, Ordering::Relaxed);
-        self.items.get(cut_prev as usize).next.store(NIL, Ordering::Relaxed);
+        self.items
+            .get(cut as usize)
+            .prev
+            .store(NIL, Ordering::Relaxed);
+        self.items
+            .get(cut_prev as usize)
+            .next
+            .store(NIL, Ordering::Relaxed);
         group.last.store(cut_prev, Ordering::Relaxed);
         group.count.store(keep as u32, Ordering::Relaxed);
         // Move tail items to the new group and respace labels of both halves.
@@ -291,7 +307,10 @@ impl OmList {
         let hi = if next_gidx == NIL {
             u64::MAX
         } else {
-            self.groups.get(next_gidx as usize).label.load(Ordering::Relaxed)
+            self.groups
+                .get(next_gidx as usize)
+                .label
+                .load(Ordering::Relaxed)
         };
         if hi - lo >= 2 {
             Some(lo + (hi - lo) / 2)
@@ -435,7 +454,10 @@ mod tests {
             model.insert(1, h);
         }
         check_against_model(&model, &list);
-        assert!(list.relabel_count() > 0, "head insertion must trigger relabels");
+        assert!(
+            list.relabel_count() > 0,
+            "head insertion must trigger relabels"
+        );
     }
 
     #[test]

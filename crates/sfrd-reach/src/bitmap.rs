@@ -33,7 +33,9 @@ impl FutureSet {
         let w = f.index() / 64;
         let mut words = vec![0u64; w + 1];
         words[w] |= 1 << (f.index() % 64);
-        Self { words: words.into_boxed_slice() }
+        Self {
+            words: words.into_boxed_slice(),
+        }
     }
 
     /// Membership test. Missing words read as zero, so sets built when
@@ -41,7 +43,9 @@ impl FutureSet {
     #[inline]
     pub fn contains(&self, f: FutureId) -> bool {
         let w = f.index() / 64;
-        self.words.get(w).is_some_and(|&word| word >> (f.index() % 64) & 1 == 1)
+        self.words
+            .get(w)
+            .is_some_and(|&word| word >> (f.index() % 64) & 1 == 1)
     }
 
     /// A copy of `self` with `f` added.
@@ -52,18 +56,25 @@ impl FutureSet {
             words.resize(w + 1, 0);
         }
         words[w] |= 1 << (f.index() % 64);
-        Self { words: words.into_boxed_slice() }
+        Self {
+            words: words.into_boxed_slice(),
+        }
     }
 
     /// Set union.
     pub fn union(&self, other: &Self) -> Self {
-        let (long, short) =
-            if self.words.len() >= other.words.len() { (self, other) } else { (other, self) };
+        let (long, short) = if self.words.len() >= other.words.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut words = long.words.to_vec();
         for (w, &s) in words.iter_mut().zip(short.words.iter()) {
             *w |= s;
         }
-        Self { words: words.into_boxed_slice() }
+        Self {
+            words: words.into_boxed_slice(),
+        }
     }
 
     /// `self ⊆ other`.
@@ -95,7 +106,9 @@ impl FutureSet {
     /// Iterate members (ascending).
     pub fn iter(&self) -> impl Iterator<Item = FutureId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| w >> b & 1 == 1).map(move |b| FutureId((wi * 64 + b) as u32))
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| FutureId((wi * 64 + b) as u32))
         })
     }
 }
@@ -115,8 +128,10 @@ impl SetStats {
     /// Record one fresh allocation.
     pub fn note_alloc(&self, set: &FutureSet) {
         self.allocations.fetch_add(1, Ordering::Relaxed);
-        self.bytes_allocated
-            .fetch_add((set.heap_bytes() + std::mem::size_of::<FutureSet>()) as u64, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(
+            (set.heap_bytes() + std::mem::size_of::<FutureSet>()) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Snapshot `(allocations, bytes, merges)`.

@@ -41,7 +41,10 @@ impl FoStrand {
     /// Identity of the current strand for the access history.
     #[inline]
     pub fn pos(&self) -> StrandPos {
-        StrandPos { sp: self.sp.pos(), future: self.future }
+        StrandPos {
+            sp: self.sp.pos(),
+            future: self.future,
+        }
     }
 
     /// Owning future id.
@@ -68,15 +71,25 @@ pub struct FoReach {
 fn table_bytes(t: &NspTable) -> usize {
     let entry = std::mem::size_of::<(FutureId, Vec<SpPos>)>() + 8;
     let pos = std::mem::size_of::<SpPos>();
-    std::mem::size_of::<NspTable>() + t.len() * entry + t.values().map(|v| v.len() * pos).sum::<usize>()
+    std::mem::size_of::<NspTable>()
+        + t.len() * entry
+        + t.values().map(|v| v.len() * pos).sum::<usize>()
 }
 
 impl FoReach {
     /// New engine; returns the root task's strand.
     pub fn new() -> (Self, FoStrand) {
         let (sp, task) = SpOrder::new();
-        let engine = Self { sp, next_future: AtomicU32::new(1), stats: SetStats::default() };
-        let root = FoStrand { sp: task, future: FutureId::ROOT, nsp: Arc::new(NspTable::default()) };
+        let engine = Self {
+            sp,
+            next_future: AtomicU32::new(1),
+            stats: SetStats::default(),
+        };
+        let root = FoStrand {
+            sp: task,
+            future: FutureId::ROOT,
+            nsp: Arc::new(NspTable::default()),
+        };
         (engine, root)
     }
 
@@ -96,7 +109,11 @@ impl FoReach {
     /// `spawn`: child shares the table.
     pub fn spawn(&self, parent: &mut FoStrand) -> FoStrand {
         let child_sp = self.sp.fork(&mut parent.sp);
-        FoStrand { sp: child_sp, future: parent.future, nsp: Arc::clone(&parent.nsp) }
+        FoStrand {
+            sp: child_sp,
+            future: parent.future,
+            nsp: Arc::clone(&parent.nsp),
+        }
     }
 
     /// `create`: the child's table gains the create node as a departure
@@ -110,7 +127,11 @@ impl FoReach {
         let mut table = (*parent.nsp).clone();
         self.insert_op(&mut table, parent_future, create_pos);
         self.note_alloc(&table);
-        FoStrand { sp: child_sp, future: fid, nsp: Arc::new(table) }
+        FoStrand {
+            sp: child_sp,
+            future: fid,
+            nsp: Arc::new(table),
+        }
     }
 
     /// `sync`: merge children's tables into the continuation, sharing
@@ -171,7 +192,9 @@ impl FoReach {
 
     fn note_alloc(&self, t: &NspTable) {
         self.stats.allocations.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_allocated.fetch_add(table_bytes(t) as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_allocated
+            .fetch_add(table_bytes(t) as u64, Ordering::Relaxed);
     }
 
     /// The underlying order structure (for access-history comparisons).
@@ -198,7 +221,8 @@ impl FoReach {
 /// `a ⊆ b` by entry containment.
 fn table_subset(a: &NspTable, b: &NspTable) -> bool {
     a.iter().all(|(f, ops)| {
-        b.get(f).is_some_and(|bops| ops.iter().all(|w| bops.contains(w)))
+        b.get(f)
+            .is_some_and(|bops| ops.iter().all(|w| bops.contains(w)))
     })
 }
 
@@ -214,7 +238,10 @@ mod tests {
         eng.sync(&mut fut, [&inner]);
         eng.task_end(&mut fut);
         let put = fut.pos();
-        assert!(!eng.precedes(put, &root), "future ∥ continuation before get");
+        assert!(
+            !eng.precedes(put, &root),
+            "future ∥ continuation before get"
+        );
         eng.get(&mut root, &fut);
         assert!(eng.precedes(put, &root));
         assert!(eng.precedes(inner.pos(), &root));
@@ -241,7 +268,10 @@ mod tests {
         assert!(eng.precedes(a_pos, &b));
         let mut c = eng.create(&mut root);
         eng.task_end(&mut c);
-        assert!(!eng.precedes(c.pos(), &b), "siblings without get stay parallel");
+        assert!(
+            !eng.precedes(c.pos(), &b),
+            "siblings without get stay parallel"
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ mod tests {
             h.write_u64(i);
             seen.insert(h.finish());
         }
-        assert_eq!(seen.len(), 10_000, "no collisions expected on small dense keys");
+        assert_eq!(
+            seen.len(),
+            10_000,
+            "no collisions expected on small dense keys"
+        );
     }
 
     #[test]

@@ -127,7 +127,10 @@ impl MbStrand {
     /// Identity of the current strand.
     #[inline]
     pub fn pos(&self) -> MbPos {
-        MbPos { elem: self.elem, future: self.future }
+        MbPos {
+            elem: self.elem,
+            future: self.future,
+        }
     }
 
     /// Owning future id.
@@ -155,7 +158,11 @@ impl MbReach {
         let mut uf = UnionFind::default();
         let e0 = uf.singleton(Kind::S);
         let empty = Arc::new(FutureSet::empty());
-        let engine = Self { uf, next_future: 1, stats: SetStats::default() };
+        let engine = Self {
+            uf,
+            next_future: 1,
+            stats: SetStats::default(),
+        };
         let root = MbStrand {
             elem: e0,
             p_rep: None,
@@ -270,7 +277,10 @@ mod tests {
         eng.task_end(&mut child);
         eng.task_return(&mut root, &child);
         // Executing the continuation: the child is in a P-bag.
-        assert!(!eng.precedes(child_pos, &root), "unsynced child ∥ continuation");
+        assert!(
+            !eng.precedes(child_pos, &root),
+            "unsynced child ∥ continuation"
+        );
         eng.sync(&mut root);
         assert!(eng.precedes(child_pos, &root), "sync serializes the child");
     }
@@ -284,7 +294,10 @@ mod tests {
         eng.task_return(&mut root, &fut);
         assert!(!eng.precedes(fut_pos, &root));
         eng.get(&mut root, &fut);
-        assert!(eng.precedes(fut_pos, &root), "get serializes the future via gp");
+        assert!(
+            eng.precedes(fut_pos, &root),
+            "get serializes the future via gp"
+        );
     }
 
     #[test]
@@ -315,7 +328,10 @@ mod tests {
         assert!(eng.precedes(d_pos, &c));
         eng.task_end(&mut c);
         eng.task_return(&mut root, &c);
-        assert!(!eng.precedes(d_pos, &root), "whole child subtree ∥ continuation");
+        assert!(
+            !eng.precedes(d_pos, &root),
+            "whole child subtree ∥ continuation"
+        );
         eng.sync(&mut root);
         assert!(eng.precedes(d_pos, &root));
     }
@@ -328,7 +344,10 @@ mod tests {
         let before = root.pos();
         let mut fut = eng.create(&mut root);
         // Serially we are now *inside* the future.
-        assert!(eng.precedes(before, &fut), "create node ≺ future body (cp + S-bag)");
+        assert!(
+            eng.precedes(before, &fut),
+            "create node ≺ future body (cp + S-bag)"
+        );
         // Nested future: grandchild sees the root strand too.
         let grand = eng.create(&mut fut);
         assert!(eng.precedes(before, &grand));
@@ -346,7 +365,10 @@ mod tests {
         eng.task_return(&mut root, &sib);
         // No sync: now create a future while sib is unsynced.
         let fut = eng.create(&mut root);
-        assert!(!eng.precedes(sib_pos, &fut), "unsynced sibling ∥ future body");
+        assert!(
+            !eng.precedes(sib_pos, &fut),
+            "unsynced sibling ∥ future body"
+        );
     }
 
     #[test]

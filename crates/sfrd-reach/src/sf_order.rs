@@ -46,7 +46,10 @@ impl SfStrand {
     /// Identity of the current strand for the access history.
     #[inline]
     pub fn pos(&self) -> SfPos {
-        StrandPos { sp: self.sp.pos(), future: self.future }
+        StrandPos {
+            sp: self.sp.pos(),
+            future: self.future,
+        }
     }
 
     /// Owning future id.
@@ -74,7 +77,11 @@ impl SfReach {
     pub fn new() -> (Self, SfStrand) {
         let (sp, task) = SpOrder::new();
         let empty = Arc::new(FutureSet::empty());
-        let engine = Self { sp, next_future: AtomicU32::new(1), stats: SetStats::default() };
+        let engine = Self {
+            sp,
+            next_future: AtomicU32::new(1),
+            stats: SetStats::default(),
+        };
         let root = SfStrand {
             sp: task,
             future: FutureId::ROOT,
@@ -101,7 +108,12 @@ impl SfReach {
         let child_sp = self.sp.fork(&mut parent.sp);
         let fid = FutureId(self.next_future.fetch_add(1, Ordering::Relaxed));
         let cp = with_future(&parent.cp, parent.future, &self.stats);
-        SfStrand { sp: child_sp, future: fid, cp, gp: Arc::clone(&parent.gp) }
+        SfStrand {
+            sp: child_sp,
+            future: fid,
+            cp,
+            gp: Arc::clone(&parent.gp),
+        }
     }
 
     /// `sync`: join spawned children; `gp(s) = gp(u) ∪ ⋃ gp(cᵢ)`.
@@ -191,14 +203,20 @@ mod tests {
 
         // Before the get: future strands ∥ continuation.
         assert!(eng.precedes(u0, &root));
-        assert!(!eng.precedes(fut_first, &root), "created future ∥ continuation");
+        assert!(
+            !eng.precedes(fut_first, &root),
+            "created future ∥ continuation"
+        );
         assert!(!eng.precedes(put, &root));
         let _ = k;
 
         eng.get(&mut root, &fut);
         assert!(eng.precedes(put, &root), "after get, put ≺ getter");
         assert!(eng.precedes(fut_first, &root));
-        assert!(eng.precedes(inner.pos(), &root), "nested strands precede via last(F)");
+        assert!(
+            eng.precedes(inner.pos(), &root),
+            "nested strands precede via last(F)"
+        );
     }
 
     /// Case 2: ancestor-future strands relate to descendants through PSP.
@@ -209,7 +227,7 @@ mod tests {
         let mut f = eng.create(&mut root);
         let after_create = root.pos();
         let g = eng.create(&mut f); // grandchild future
-        // The create node (before) precedes everything in F and G.
+                                    // The create node (before) precedes everything in F and G.
         assert!(eng.precedes(before, &f));
         assert!(eng.precedes(before, &g));
         // The root's continuation after the create is ∥ F and G.
@@ -230,7 +248,10 @@ mod tests {
         // Sibling future B created after getting A: A's strands precede B's.
         eng.get(&mut root, &a);
         let mut b = eng.create(&mut root);
-        assert!(eng.precedes(a_pos, &b), "A's put flows into B via gp inheritance");
+        assert!(
+            eng.precedes(a_pos, &b),
+            "A's put flows into B via gp inheritance"
+        );
         assert!(b.gp().contains(a.future()));
         eng.task_end(&mut b);
         // Reverse direction must be false.

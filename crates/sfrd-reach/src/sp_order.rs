@@ -74,7 +74,13 @@ impl SpOrder {
     pub fn new() -> (Self, SpTask) {
         let (eng, e0) = OmList::new();
         let (heb, h0) = OmList::new();
-        (Self { eng, heb }, SpTask { cur: SpPos { eng: e0, heb: h0 }, block: None })
+        (
+            Self { eng, heb },
+            SpTask {
+                cur: SpPos { eng: e0, heb: h0 },
+                block: None,
+            },
+        )
     }
 
     /// Handle a `spawn` or `create` by task `t`; returns the child task's
@@ -88,16 +94,40 @@ impl SpOrder {
             let c_heb = self.heb.insert_after(u.heb);
             let k_heb = self.heb.insert_after(u.heb);
             let s_heb = self.heb.insert_after(c_heb);
-            t.block = Some(SpPos { eng: s_eng, heb: s_heb });
-            (SpPos { eng: c_eng, heb: c_heb }, SpPos { eng: k_eng, heb: k_heb })
+            t.block = Some(SpPos {
+                eng: s_eng,
+                heb: s_heb,
+            });
+            (
+                SpPos {
+                    eng: c_eng,
+                    heb: c_heb,
+                },
+                SpPos {
+                    eng: k_eng,
+                    heb: k_heb,
+                },
+            )
         } else {
             let (c_eng, k_eng) = self.eng.insert_two_after(u.eng);
             let c_heb = self.heb.insert_after(u.heb);
             let k_heb = self.heb.insert_after(u.heb);
-            (SpPos { eng: c_eng, heb: c_heb }, SpPos { eng: k_eng, heb: k_heb })
+            (
+                SpPos {
+                    eng: c_eng,
+                    heb: c_heb,
+                },
+                SpPos {
+                    eng: k_eng,
+                    heb: k_heb,
+                },
+            )
         };
         t.cur = cont;
-        SpTask { cur: child, block: None }
+        SpTask {
+            cur: child,
+            block: None,
+        }
     }
 
     /// Handle a `sync` (or the implicit task-end sync): the task's strand
@@ -162,9 +192,18 @@ mod tests {
 
         assert!(sp.precedes_eq(u0, c1.pos()));
         assert!(sp.precedes_eq(c1.pos(), s1));
-        assert!(sp.precedes_eq(c1.pos(), c2.pos()), "sync serializes c1 before c2");
-        assert!(!sp.precedes_eq(c1.pos(), k1) && !sp.precedes_eq(k1, c1.pos()), "c1 ∥ k1");
-        assert!(!sp.precedes_eq(c2.pos(), k2) && !sp.precedes_eq(k2, c2.pos()), "c2 ∥ k2");
+        assert!(
+            sp.precedes_eq(c1.pos(), c2.pos()),
+            "sync serializes c1 before c2"
+        );
+        assert!(
+            !sp.precedes_eq(c1.pos(), k1) && !sp.precedes_eq(k1, c1.pos()),
+            "c1 ∥ k1"
+        );
+        assert!(
+            !sp.precedes_eq(c2.pos(), k2) && !sp.precedes_eq(k2, c2.pos()),
+            "c2 ∥ k2"
+        );
         assert!(sp.precedes_eq(c2.pos(), s2));
         assert!(!sp.precedes_eq(s2, c2.pos()));
     }
@@ -196,10 +235,19 @@ mod tests {
         sp.sync(&mut root);
         let s1 = root.pos();
 
-        assert!(!sp.precedes_eq(d.pos(), k1) && !sp.precedes_eq(k1, d.pos()), "d ∥ k1");
-        assert!(!sp.precedes_eq(d.pos(), kd) && !sp.precedes_eq(kd, d.pos()), "d ∥ kd");
+        assert!(
+            !sp.precedes_eq(d.pos(), k1) && !sp.precedes_eq(k1, d.pos()),
+            "d ∥ k1"
+        );
+        assert!(
+            !sp.precedes_eq(d.pos(), kd) && !sp.precedes_eq(kd, d.pos()),
+            "d ∥ kd"
+        );
         assert!(sp.precedes_eq(d.pos(), c1_end));
-        assert!(sp.precedes_eq(d.pos(), s1), "grandchild precedes parent's sync");
+        assert!(
+            sp.precedes_eq(d.pos(), s1),
+            "grandchild precedes parent's sync"
+        );
         assert!(sp.precedes_eq(c1_end, s1));
     }
 

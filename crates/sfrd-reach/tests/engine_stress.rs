@@ -82,7 +82,10 @@ fn sf_wide_sibling_accumulation() {
         assert!(root.gp().contains(f.future()));
     }
     for f in &escaped {
-        assert!(!eng.precedes(f.pos(), &root), "escaping future must stay parallel");
+        assert!(
+            !eng.precedes(f.pos(), &root),
+            "escaping future must stay parallel"
+        );
         assert!(!root.gp().contains(f.future()));
     }
     assert_eq!(eng.future_count(), 201);
@@ -92,7 +95,12 @@ fn sf_wide_sibling_accumulation() {
 /// union-find keeps answering after thousands of bag melds.
 #[test]
 fn mb_deep_spawn_tree() {
-    fn go(eng: &mut MbReach, parent: &mut sfrd_reach::MbStrand, depth: u32, positions: &mut Vec<sfrd_reach::MbPos>) {
+    fn go(
+        eng: &mut MbReach,
+        parent: &mut sfrd_reach::MbStrand,
+        depth: u32,
+        positions: &mut Vec<sfrd_reach::MbPos>,
+    ) {
         if depth == 0 {
             positions.push(parent.pos());
             return;
@@ -128,10 +136,16 @@ fn same_future_route_is_psp_only() {
     let a = eng.spawn(&mut root);
     let a_pos = a.pos();
     let cont = root.pos();
-    assert!(!eng.precedes(a_pos, &root), "sibling branch is parallel (same future)");
+    assert!(
+        !eng.precedes(a_pos, &root),
+        "sibling branch is parallel (same future)"
+    );
     eng.sync(&mut root, [&a]);
     assert!(eng.precedes(a_pos, &root), "sync serializes it");
-    assert!(eng.precedes(cont, &root), "old continuation is a serial ancestor");
+    assert!(
+        eng.precedes(cont, &root),
+        "old continuation is a serial ancestor"
+    );
     // Antisymmetry across futures: the root's current strand does not
     // precede the long-finished future f.
     assert!(!eng.precedes(root.pos(), &f));

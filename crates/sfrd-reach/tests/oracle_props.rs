@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use rand::prelude::*;
 
 use sfrd_dag::generator::{replay, GenParams, GenProgram, ProgramSink};
-use sfrd_dag::{NodeId, RecStrand, Recorder, ReachOracle, EdgeKind};
+use sfrd_dag::{EdgeKind, NodeId, ReachOracle, RecStrand, Recorder};
 use sfrd_reach::{FoReach, FoStrand, MbReach, MbStrand, SfReach, SfStrand};
 
 /// One recorded query: `u`'s dag node, current dag node, engine verdict.
@@ -160,12 +160,15 @@ fn assert_checks_match_oracle(
     recorded: &sfrd_dag::RecordedProgram,
     checks: &[Check],
 ) {
-    recorded.validate().expect("generator must produce structured programs");
+    recorded
+        .validate()
+        .expect("generator must produce structured programs");
     let oracle = ReachOracle::build(&recorded.dag, |k| k != EdgeKind::PspJoin);
     for &(u, v, got) in checks {
         let want = oracle.precedes_eq(u, v);
         assert_eq!(
-            got, want,
+            got,
+            want,
             "{name}: precedes({u}, {v}) = {got}, oracle says {want}\nprogram: {prog:?}\ndag:\n{}",
             recorded.dag.to_dot()
         );
@@ -175,7 +178,12 @@ fn assert_checks_match_oracle(
 fn run_sf(prog: &GenProgram) {
     let (rec, rec_root) = Recorder::new();
     let (eng, sf_root) = SfReach::new();
-    let mut sink = SfSink { eng: &eng, rec: &rec, accesses: vec![], checks: vec![] };
+    let mut sink = SfSink {
+        eng: &eng,
+        rec: &rec,
+        accesses: vec![],
+        checks: vec![],
+    };
     let mut root = (rec_root, sf_root);
     replay(prog, &mut sink, &mut root);
     let checks = std::mem::take(&mut sink.checks);
@@ -186,7 +194,12 @@ fn run_sf(prog: &GenProgram) {
 fn run_fo(prog: &GenProgram) {
     let (rec, rec_root) = Recorder::new();
     let (eng, fo_root) = FoReach::new();
-    let mut sink = FoSink { eng: &eng, rec: &rec, accesses: vec![], checks: vec![] };
+    let mut sink = FoSink {
+        eng: &eng,
+        rec: &rec,
+        accesses: vec![],
+        checks: vec![],
+    };
     let mut root = (rec_root, fo_root);
     replay(prog, &mut sink, &mut root);
     let checks = std::mem::take(&mut sink.checks);
@@ -197,7 +210,12 @@ fn run_fo(prog: &GenProgram) {
 fn run_mb(prog: &GenProgram) {
     let (rec, rec_root) = Recorder::new();
     let (eng, mb_root) = MbReach::new();
-    let mut sink = MbSink { eng, rec: &rec, accesses: vec![], checks: vec![] };
+    let mut sink = MbSink {
+        eng,
+        rec: &rec,
+        accesses: vec![],
+        checks: vec![],
+    };
     let mut root = (rec_root, mb_root);
     replay(prog, &mut sink, &mut root);
     let checks = std::mem::take(&mut sink.checks);
@@ -206,7 +224,12 @@ fn run_mb(prog: &GenProgram) {
 }
 
 fn params() -> GenParams {
-    GenParams { max_tasks: 24, max_body_len: 6, addr_space: 4, ..Default::default() }
+    GenParams {
+        max_tasks: 24,
+        max_body_len: 6,
+        addr_space: 4,
+        ..Default::default()
+    }
 }
 
 /// Build a program from a seed (proptest shrinks over seeds).
@@ -250,12 +273,21 @@ fn all_engines_fixed_seed_sweep() {
 fn deep_create_chain() {
     use sfrd_dag::generator::{Body, Op};
     fn chain(depth: usize) -> Body {
-        let mut ops = vec![Op::Work { addr: depth as u64, write: true }];
+        let mut ops = vec![Op::Work {
+            addr: depth as u64,
+            write: true,
+        }];
         if depth > 0 {
             ops.push(Op::Create(chain(depth - 1)));
-            ops.push(Op::Work { addr: 0, write: false });
+            ops.push(Op::Work {
+                addr: 0,
+                write: false,
+            });
             ops.push(Op::Get(0));
-            ops.push(Op::Work { addr: depth as u64, write: true });
+            ops.push(Op::Work {
+                addr: depth as u64,
+                write: true,
+            });
         }
         Body(ops)
     }
@@ -271,11 +303,17 @@ fn wide_future_fanout() {
     use sfrd_dag::generator::{Body, Op};
     let mut ops = Vec::new();
     for i in 0..40u64 {
-        ops.push(Op::Create(Body(vec![Op::Work { addr: i % 5, write: true }])));
+        ops.push(Op::Create(Body(vec![Op::Work {
+            addr: i % 5,
+            write: true,
+        }])));
     }
     for i in (0..40usize).step_by(2) {
         ops.push(Op::Get(i));
-        ops.push(Op::Work { addr: (i as u64) % 5, write: false });
+        ops.push(Op::Work {
+            addr: (i as u64) % 5,
+            write: false,
+        });
     }
     let prog = GenProgram { root: Body(ops) };
     run_sf(&prog);

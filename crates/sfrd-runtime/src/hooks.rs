@@ -60,11 +60,11 @@ impl TaskHooks for NullHooks {
     type Strand = ();
 
     #[inline]
-    fn root(&self) -> () {}
+    fn root(&self) {}
     #[inline]
-    fn on_spawn(&self, _: &mut ()) -> () {}
+    fn on_spawn(&self, _: &mut ()) {}
     #[inline]
-    fn on_create(&self, _: &mut ()) -> () {}
+    fn on_create(&self, _: &mut ()) {}
     #[inline]
     fn on_sync(&self, _: &mut (), _: Vec<()>) {}
     #[inline]

@@ -54,11 +54,17 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// Parallel execution on `workers` workers.
     pub fn parallel(workers: usize) -> Self {
-        Self { workers, sequential: false }
+        Self {
+            workers,
+            sequential: false,
+        }
     }
 
     /// Serial left-to-right depth-first execution.
     pub fn serial() -> Self {
-        Self { workers: 1, sequential: true }
+        Self {
+            workers: 1,
+            sequential: true,
+        }
     }
 }

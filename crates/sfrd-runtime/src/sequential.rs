@@ -24,13 +24,18 @@ pub struct SeqHandle<T, S> {
 
 impl<'h, H: TaskHooks> SeqCtx<'h, H> {
     fn child(&mut self, strand: H::Strand) -> SeqCtx<'h, H> {
-        SeqCtx { hooks: self.hooks, strand, children: Vec::new() }
+        SeqCtx {
+            hooks: self.hooks,
+            strand,
+            children: Vec::new(),
+        }
     }
 
     /// Implicit sync + task end.
     fn end_task(&mut self) {
         if !self.children.is_empty() {
-            self.hooks.on_sync(&mut self.strand, std::mem::take(&mut self.children));
+            self.hooks
+                .on_sync(&mut self.strand, std::mem::take(&mut self.children));
         }
         self.hooks.on_task_end(&mut self.strand);
     }
@@ -49,12 +54,14 @@ impl<'s, 'h, H: TaskHooks> Cx<'s> for SeqCtx<'h, H> {
         f(&mut cctx);
         cctx.end_task();
         let mut child_strand = cctx.strand;
-        self.hooks.on_task_return(&mut self.strand, &mut child_strand);
+        self.hooks
+            .on_task_return(&mut self.strand, &mut child_strand);
         self.children.push(child_strand);
     }
 
     fn sync(&mut self) {
-        self.hooks.on_sync(&mut self.strand, std::mem::take(&mut self.children));
+        self.hooks
+            .on_sync(&mut self.strand, std::mem::take(&mut self.children));
     }
 
     fn create<T, F>(&mut self, f: F) -> SeqHandle<T, H::Strand>
@@ -67,8 +74,12 @@ impl<'s, 'h, H: TaskHooks> Cx<'s> for SeqCtx<'h, H> {
         let value = f(&mut cctx);
         cctx.end_task();
         let mut child_strand = cctx.strand;
-        self.hooks.on_task_return(&mut self.strand, &mut child_strand);
-        SeqHandle { value, strand: child_strand }
+        self.hooks
+            .on_task_return(&mut self.strand, &mut child_strand);
+        SeqHandle {
+            value,
+            strand: child_strand,
+        }
     }
 
     fn get<T: Send + 's>(&mut self, h: SeqHandle<T, H::Strand>) -> T {
@@ -84,7 +95,11 @@ impl<'s, 'h, H: TaskHooks> Cx<'s> for SeqCtx<'h, H> {
 
 /// Run `f` as the root task of a sequential execution.
 pub fn run_sequential<H: TaskHooks, T>(hooks: &H, f: impl FnOnce(&mut SeqCtx<'_, H>) -> T) -> T {
-    let mut ctx = SeqCtx { hooks, strand: hooks.root(), children: Vec::new() };
+    let mut ctx = SeqCtx {
+        hooks,
+        strand: hooks.root(),
+        children: Vec::new(),
+    };
     let out = f(&mut ctx);
     ctx.end_task();
     out
@@ -169,8 +184,15 @@ mod tests {
         assert_eq!(
             log,
             vec![
-                "spawn<0", "end<1", "ret<0:1", "create<0", "end<2", "ret<0:2", "sync<0:[1]",
-                "get<0:2", "end<0",
+                "spawn<0",
+                "end<1",
+                "ret<0:1",
+                "create<0",
+                "end<2",
+                "ret<0:2",
+                "sync<0:[1]",
+                "get<0:2",
+                "end<0",
             ]
         );
     }

@@ -55,7 +55,10 @@ impl TaskHooks for Audit {
         expect.sort_unstable();
         let mut got_sorted = got.clone();
         got_sorted.sort_unstable();
-        assert_eq!(got_sorted, expect, "sync must join exactly the un-synced children");
+        assert_eq!(
+            got_sorted, expect,
+            "sync must join exactly the un-synced children"
+        );
         let mut st = self.state.lock();
         for c in got {
             let e = st.get_mut(&c).unwrap();
@@ -82,7 +85,10 @@ impl TaskHooks for Audit {
     }
 }
 
-fn run_audited(workers: usize, body: impl for<'e> FnOnce(&mut sfrd_runtime::ParCtx<'e, Audit>) + Send) -> Arc<Audit> {
+fn run_audited(
+    workers: usize,
+    body: impl for<'e> FnOnce(&mut sfrd_runtime::ParCtx<'e, Audit>) + Send,
+) -> Arc<Audit> {
     let hooks = Arc::new(Audit::default());
     let rt: Runtime<Audit> = Runtime::new(workers);
     rt.run(Arc::clone(&hooks), body);
@@ -153,7 +159,7 @@ fn contract_holds_under_repeated_random_load() {
                 if depth == 0 {
                     return;
                 }
-                if (salt ^ depth) % 3 == 0 {
+                if (salt ^ depth).is_multiple_of(3) {
                     let h = ctx.create(move |c| go(c, depth - 1, salt.wrapping_mul(31)));
                     go(ctx, depth - 1, salt.wrapping_add(17));
                     ctx.get(h);

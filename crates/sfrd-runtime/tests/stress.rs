@@ -94,7 +94,11 @@ fn mixed_spawn_create_recursion() {
         let pool = rt(workers);
         let acc = AtomicU64::new(0);
         pool.run(Arc::new(NullHooks), |ctx| go(ctx, 8, &acc));
-        assert_eq!(acc.load(Ordering::Relaxed), 3u64.pow(8), "workers={workers}");
+        assert_eq!(
+            acc.load(Ordering::Relaxed),
+            3u64.pow(8),
+            "workers={workers}"
+        );
     }
 }
 
@@ -152,7 +156,10 @@ fn steals_happen_under_parallel_load() {
     });
     let stats = pool.stats();
     assert!(stats.tasks_run >= 200);
-    assert!(stats.steals > 0, "root job enters via the injector, so ≥1 steal");
+    assert!(
+        stats.steals > 0,
+        "root job enters via the injector, so ≥1 steal"
+    );
 }
 
 /// Many back-to-back scopes on one pool (allocation hygiene).

@@ -227,8 +227,11 @@ impl<P: Copy + Send> AccessHistory<P> {
     /// of two).
     pub fn new(policy: ReaderPolicy, shards: usize) -> Self {
         let n = shards.next_power_of_two().max(1);
-        let shards =
-            (0..n).map(|_| Shard { map: Mutex::new(AddrMap::default()) }).collect::<Vec<_>>();
+        let shards = (0..n)
+            .map(|_| Shard {
+                map: Mutex::new(AddrMap::default()),
+            })
+            .collect::<Vec<_>>();
         Self {
             shards: shards.into_boxed_slice(),
             policy,
@@ -263,9 +266,10 @@ impl<P: Copy + Send> AccessHistory<P> {
         self.lock_ops.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard_of(addr);
         let mut map = shard.map.lock();
-        let entry = map
-            .entry(addr)
-            .or_insert_with(|| LocEntry { writer: None, readers: Readers::new(self.policy) });
+        let entry = map.entry(addr).or_insert_with(|| LocEntry {
+            writer: None,
+            readers: Readers::new(self.policy),
+        });
         f(entry)
     }
 
@@ -284,7 +288,14 @@ impl<P: Copy + Send> AccessHistory<P> {
     pub fn max_retained_readers(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.map.lock().values().map(|e| e.readers.len()).max().unwrap_or(0))
+            .map(|s| {
+                s.map
+                    .lock()
+                    .values()
+                    .map(|e| e.readers.len())
+                    .max()
+                    .unwrap_or(0)
+            })
             .max()
             .unwrap_or(0)
     }
@@ -322,7 +333,10 @@ mod tests {
     fn all_policy_keeps_every_reader() {
         let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
         for i in 0..5u32 {
-            h.locked(0x100, |e| e.readers.record(0, (i, 10 - i), eng_less, heb_less, precedes));
+            h.locked(0x100, |e| {
+                e.readers
+                    .record(0, (i, 10 - i), eng_less, heb_less, precedes)
+            });
         }
         h.locked(0x100, |e| {
             assert_eq!(e.readers.len(), 5);
@@ -337,10 +351,14 @@ mod tests {
         let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::PerFutureLR);
         // Future 3: readers at (eng, heb) = (5,5), (2,8), (8,2).
         for (e, hb) in [(5, 5), (2, 8), (8, 2)] {
-            h.locked(0x40, |ent| ent.readers.record(3, (e, hb), eng_less, heb_less, precedes));
+            h.locked(0x40, |ent| {
+                ent.readers.record(3, (e, hb), eng_less, heb_less, precedes)
+            });
         }
         // A second future contributes separately.
-        h.locked(0x40, |ent| ent.readers.record(7, (1, 1), eng_less, heb_less, precedes));
+        h.locked(0x40, |ent| {
+            ent.readers.record(7, (1, 1), eng_less, heb_less, precedes)
+        });
         h.locked(0x40, |ent| {
             assert_eq!(ent.readers.len(), 4); // 2 futures × (l, r)
             let mut seen = vec![];
@@ -366,7 +384,10 @@ mod tests {
     fn distinct_addresses_distinct_entries() {
         let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
         for a in 0..1000u64 {
-            h.locked(a * 8, |e| e.readers.record(0, (a as u32, a as u32), eng_less, heb_less, precedes));
+            h.locked(a * 8, |e| {
+                e.readers
+                    .record(0, (a as u32, a as u32), eng_less, heb_less, precedes)
+            });
         }
         assert_eq!(h.locations(), 1000);
         assert_eq!(h.lock_ops(), 1000);
@@ -382,7 +403,9 @@ mod tests {
             let h = Arc::clone(&h);
             threads.push(std::thread::spawn(move || {
                 for i in 0..10_000u64 {
-                    h.locked(i % 64, |e| e.readers.record(t, (t, t), eng_less, heb_less, precedes));
+                    h.locked(i % 64, |e| {
+                        e.readers.record(t, (t, t), eng_less, heb_less, precedes)
+                    });
                 }
             }));
         }

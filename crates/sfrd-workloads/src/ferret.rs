@@ -35,12 +35,22 @@ pub struct FerretParams {
 impl FerretParams {
     /// Small default for tests/CI.
     pub fn small() -> Self {
-        Self { queries: 12, width: 48, db_entries: 64, dim: 16 }
+        Self {
+            queries: 12,
+            width: 48,
+            db_entries: 64,
+            dim: 16,
+        }
     }
 
     /// Paper-shaped input: `k = 4·64 = 256` futures. Heavy!
     pub fn paper() -> Self {
-        Self { queries: 64, width: 256, db_entries: 4096, dim: 64 }
+        Self {
+            queries: 64,
+            width: 256,
+            db_entries: 4096,
+            dim: 64,
+        }
     }
 }
 
@@ -82,7 +92,8 @@ impl FerretWorkload {
     /// Stage 0, "segment": seed the query's buffer.
     fn segment<'s, C: Cx<'s>>(&self, ctx: &mut C, q: usize) {
         for i in 0..self.params.width {
-            self.buf.write(ctx, q, i, self.mix((q * self.params.width + i) as u64, 0xA));
+            self.buf
+                .write(ctx, q, i, self.mix((q * self.params.width + i) as u64, 0xA));
         }
     }
 
@@ -99,7 +110,12 @@ impl FerretWorkload {
 
     /// Stage 2, "rank": scan the database for the best match.
     fn rank<'s, C: Cx<'s>>(&self, ctx: &mut C, q: usize) {
-        let FerretParams { width, db_entries, dim, .. } = self.params;
+        let FerretParams {
+            width,
+            db_entries,
+            dim,
+            ..
+        } = self.params;
         let mut best = (u64::MAX, 0u64);
         for e in 0..db_entries {
             let mut dist = 0u64;
@@ -130,11 +146,17 @@ impl FerretWorkload {
 
     /// Uninstrumented serial reference of the committed output.
     pub fn expected(&self) -> Vec<u64> {
-        let FerretParams { queries, width, db_entries, dim } = self.params;
+        let FerretParams {
+            queries,
+            width,
+            db_entries,
+            dim,
+        } = self.params;
         let mut out = Vec::with_capacity(queries);
         for q in 0..queries {
-            let mut buf: Vec<u64> =
-                (0..width).map(|i| self.mix((q * width + i) as u64, 0xA)).collect();
+            let mut buf: Vec<u64> = (0..width)
+                .map(|i| self.mix((q * width + i) as u64, 0xA))
+                .collect();
             let mut acc = 0u64;
             for v in buf.iter_mut() {
                 let old = *v;
@@ -167,7 +189,12 @@ impl FerretWorkload {
 
 impl Workload for FerretWorkload {
     fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
-        let FerretParams { queries, db_entries, dim, .. } = self.params;
+        let FerretParams {
+            queries,
+            db_entries,
+            dim,
+            ..
+        } = self.params;
         // Load the database (main task writes; stage tasks are created
         // afterwards, so the scan reads are ordered after these writes).
         for i in 0..db_entries * dim {
@@ -212,12 +239,25 @@ mod tests {
 
     #[test]
     fn ferret_matches_reference_all_detectors() {
-        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+        for kind in [
+            DetectorKind::SfOrder,
+            DetectorKind::FOrder,
+            DetectorKind::MultiBags,
+        ] {
             let w = FerretWorkload::new(
-                FerretParams { queries: 6, width: 16, db_entries: 16, dim: 8 },
+                FerretParams {
+                    queries: 6,
+                    width: 16,
+                    db_entries: 16,
+                    dim: 8,
+                },
                 17,
             );
-            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let workers = if kind == DetectorKind::MultiBags {
+                1
+            } else {
+                2
+            };
             let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
             assert!(w.verify(), "{kind:?}");
             assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");
@@ -226,8 +266,15 @@ mod tests {
 
     #[test]
     fn ferret_future_count_is_4q() {
-        let w =
-            FerretWorkload::new(FerretParams { queries: 5, width: 8, db_entries: 8, dim: 4 }, 1);
+        let w = FerretWorkload::new(
+            FerretParams {
+                queries: 5,
+                width: 8,
+                db_entries: 8,
+                dim: 4,
+            },
+            1,
+        );
         let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 2));
         assert_eq!(out.report.unwrap().counts.futures, (STAGES * 5) as u64);
     }
@@ -260,14 +307,27 @@ mod tests {
 
     #[test]
     fn unchained_output_races_on_cursor() {
-        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+        for kind in [
+            DetectorKind::SfOrder,
+            DetectorKind::FOrder,
+            DetectorKind::MultiBags,
+        ] {
             let inner = FerretWorkload::new(
-                FerretParams { queries: 4, width: 8, db_entries: 8, dim: 4 },
+                FerretParams {
+                    queries: 4,
+                    width: 8,
+                    db_entries: 8,
+                    dim: 4,
+                },
                 23,
             );
             let cursor_addr = inner.cursor.addr();
             let w = UnchainedFerret(inner);
-            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let workers = if kind == DetectorKind::MultiBags {
+                1
+            } else {
+                2
+            };
             let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
             let rep = out.report.unwrap();
             assert!(rep.total_races > 0, "{kind:?} missed the cursor race");

@@ -32,12 +32,24 @@ pub struct HwParams {
 impl HwParams {
     /// Small default for tests/CI.
     pub fn small() -> Self {
-        Self { frames: 4, points: 24, side: 64, window: 8, templates: 2 }
+        Self {
+            frames: 4,
+            points: 24,
+            side: 64,
+            window: 8,
+            templates: 2,
+        }
     }
 
     /// Paper-shaped input (10 frames, Rodinia-like point count). Heavy!
     pub fn paper() -> Self {
-        Self { frames: 10, points: 368, side: 512, window: 40, templates: 16 }
+        Self {
+            frames: 10,
+            points: 368,
+            side: 512,
+            window: 40,
+            templates: 16,
+        }
     }
 }
 
@@ -95,7 +107,8 @@ impl HwWorkload {
                 }
             }
         }
-        self.positions.write(ctx, f * pts + p, (best.1 * side + best.2) as u64);
+        self.positions
+            .write(ctx, f * pts + p, (best.1 * side + best.2) as u64);
     }
 
     /// The input parameters.
@@ -105,9 +118,16 @@ impl HwWorkload {
 
     /// Uninstrumented serial reference: final positions of all points.
     pub fn expected(&self) -> Vec<u64> {
-        let HwParams { frames, points, side, window: w, .. } = self.params;
-        let mut pos: Vec<u64> =
-            (0..points).map(|p| ((side / 2) * side + (p * side) / points.max(1)) as u64).collect();
+        let HwParams {
+            frames,
+            points,
+            side,
+            window: w,
+            ..
+        } = self.params;
+        let mut pos: Vec<u64> = (0..points)
+            .map(|p| ((side / 2) * side + (p * side) / points.max(1)) as u64)
+            .collect();
         for f in 1..=frames {
             for p in pos.iter_mut() {
                 let (py, px) = ((*p / side as u64) as usize, (*p % side as u64) as usize);
@@ -142,7 +162,12 @@ impl HwWorkload {
 
 impl Workload for HwWorkload {
     fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
-        let HwParams { frames, points, side, .. } = self.params;
+        let HwParams {
+            frames,
+            points,
+            side,
+            ..
+        } = self.params;
         // Initial placements (frame 0 row).
         for p in 0..points {
             let init = ((side / 2) * side + (p * side) / points.max(1)) as u64;
@@ -155,7 +180,8 @@ impl Workload for HwWorkload {
             let base = (f - 1) * side * side;
             for y in 0..side {
                 for x in 0..side {
-                    self.pixels.write(ctx, base + y * side + x, self.pixel_value(f - 1, y, x));
+                    self.pixels
+                        .write(ctx, base + y * side + x, self.pixel_value(f - 1, y, x));
                 }
             }
             for (p, slot) in prev.iter_mut().enumerate() {
@@ -169,10 +195,8 @@ impl Workload for HwWorkload {
             }
         }
         // Join the last frame's trackers.
-        for slot in prev {
-            if let Some(h) = slot {
-                ctx.get(h);
-            }
+        for h in prev.into_iter().flatten() {
+            ctx.get(h);
         }
     }
 }
@@ -184,9 +208,26 @@ mod tests {
 
     #[test]
     fn hw_matches_reference_all_detectors() {
-        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
-            let w = HwWorkload::new(HwParams { frames: 3, points: 8, side: 32, window: 6, templates: 2 }, 13);
-            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+        for kind in [
+            DetectorKind::SfOrder,
+            DetectorKind::FOrder,
+            DetectorKind::MultiBags,
+        ] {
+            let w = HwWorkload::new(
+                HwParams {
+                    frames: 3,
+                    points: 8,
+                    side: 32,
+                    window: 6,
+                    templates: 2,
+                },
+                13,
+            );
+            let workers = if kind == DetectorKind::MultiBags {
+                1
+            } else {
+                2
+            };
             let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
             assert!(w.verify(), "{kind:?}");
             assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");
@@ -195,7 +236,16 @@ mod tests {
 
     #[test]
     fn hw_future_count_is_frames_times_points() {
-        let w = HwWorkload::new(HwParams { frames: 3, points: 8, side: 32, window: 6, templates: 2 }, 3);
+        let w = HwWorkload::new(
+            HwParams {
+                frames: 3,
+                points: 8,
+                side: 32,
+                window: 6,
+                templates: 2,
+            },
+            3,
+        );
         let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 2));
         assert_eq!(out.report.unwrap().counts.futures, 24);
     }

@@ -43,7 +43,7 @@ pub struct LcsWorkload {
 impl LcsWorkload {
     /// Deterministic random sequences over a 4-letter alphabet.
     pub fn new(params: LcsParams, seed: u64) -> Self {
-        assert!(params.n % params.base == 0, "base must divide n");
+        assert!(params.n.is_multiple_of(params.base), "base must divide n");
         let mut x = seed | 1;
         let mut gen = |n: usize| -> Vec<u8> {
             (0..n)
@@ -75,7 +75,9 @@ impl LcsWorkload {
                 let v = if self.seq_a[i - 1] == self.seq_b[j - 1] {
                     self.table.read(ctx, i - 1, j - 1) + 1
                 } else {
-                    self.table.read(ctx, i - 1, j).max(self.table.read(ctx, i, j - 1))
+                    self.table
+                        .read(ctx, i - 1, j)
+                        .max(self.table.read(ctx, i, j - 1))
                 };
                 self.table.write(ctx, i, j, v);
             }
@@ -136,9 +138,17 @@ mod tests {
 
     #[test]
     fn lcs_matches_reference_all_detectors() {
-        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+        for kind in [
+            DetectorKind::SfOrder,
+            DetectorKind::FOrder,
+            DetectorKind::MultiBags,
+        ] {
             let w = LcsWorkload::new(LcsParams { n: 48, base: 8 }, 5);
-            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let workers = if kind == DetectorKind::MultiBags {
+                1
+            } else {
+                2
+            };
             let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
             assert!(w.verify(), "{kind:?}");
             assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");

@@ -125,16 +125,26 @@ pub fn make_bench(name: &str, scale: Scale, seed: u64) -> AnyBench {
         ("mm", Scale::Medium) => AnyBench::Mm(MmWorkload::new(MmParams { n: 256, base: 32 }, seed)),
         ("mm", Scale::Paper) => AnyBench::Mm(MmWorkload::new(MmParams::paper(), seed)),
         ("sort", Scale::Small) => AnyBench::Sort(SortWorkload::new(SortParams::small(), seed)),
-        ("sort", Scale::Medium) => {
-            AnyBench::Sort(SortWorkload::new(SortParams { n: 200_000, base: 2048 }, seed))
-        }
+        ("sort", Scale::Medium) => AnyBench::Sort(SortWorkload::new(
+            SortParams {
+                n: 200_000,
+                base: 2048,
+            },
+            seed,
+        )),
         ("sort", Scale::Paper) => AnyBench::Sort(SortWorkload::new(SortParams::paper(), seed)),
         ("sw", Scale::Small) => AnyBench::Sw(SwWorkload::new(SwParams::small(), seed)),
         ("sw", Scale::Medium) => AnyBench::Sw(SwWorkload::new(SwParams { n: 512, base: 32 }, seed)),
         ("sw", Scale::Paper) => AnyBench::Sw(SwWorkload::new(SwParams::paper(), seed)),
         ("hw", Scale::Small) => AnyBench::Hw(HwWorkload::new(HwParams::small(), seed)),
         ("hw", Scale::Medium) => AnyBench::Hw(HwWorkload::new(
-            HwParams { frames: 8, points: 96, side: 128, window: 20, templates: 8 },
+            HwParams {
+                frames: 8,
+                points: 96,
+                side: 128,
+                window: 20,
+                templates: 8,
+            },
             seed,
         )),
         ("hw", Scale::Paper) => AnyBench::Hw(HwWorkload::new(HwParams::paper(), seed)),
@@ -142,7 +152,12 @@ pub fn make_bench(name: &str, scale: Scale, seed: u64) -> AnyBench {
             AnyBench::Ferret(FerretWorkload::new(FerretParams::small(), seed))
         }
         ("ferret", Scale::Medium) => AnyBench::Ferret(FerretWorkload::new(
-            FerretParams { queries: 32, width: 128, db_entries: 512, dim: 32 },
+            FerretParams {
+                queries: 32,
+                width: 128,
+                db_entries: 512,
+                dim: 32,
+            },
             seed,
         )),
         ("ferret", Scale::Paper) => {

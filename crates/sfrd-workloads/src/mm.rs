@@ -56,10 +56,26 @@ impl Quad {
     fn split(self) -> [Quad; 4] {
         let h = self.n / 2;
         [
-            Quad { r: self.r, c: self.c, n: h },
-            Quad { r: self.r, c: self.c + h, n: h },
-            Quad { r: self.r + h, c: self.c, n: h },
-            Quad { r: self.r + h, c: self.c + h, n: h },
+            Quad {
+                r: self.r,
+                c: self.c,
+                n: h,
+            },
+            Quad {
+                r: self.r,
+                c: self.c + h,
+                n: h,
+            },
+            Quad {
+                r: self.r + h,
+                c: self.c,
+                n: h,
+            },
+            Quad {
+                r: self.r + h,
+                c: self.c + h,
+                n: h,
+            },
         ]
     }
 }
@@ -72,7 +88,9 @@ impl MmWorkload {
         let n = params.n;
         let mix = |r: usize, c: usize, salt: u64| {
             let x = (r as u64) << 32 | c as u64;
-            x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed ^ salt) >> 8
+            x.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(seed ^ salt)
+                >> 8
         };
         Self {
             a: ShadowMatrix::from_fn(n, n, |r, c| mix(r, c, 1) % 1000),

@@ -26,7 +26,10 @@ impl SortParams {
 
     /// The paper's input (`N = 10⁷, B = 8192`). Heavy!
     pub fn paper() -> Self {
-        Self { n: 10_000_000, base: 8192 }
+        Self {
+            n: 10_000_000,
+            base: 8192,
+        }
     }
 }
 
@@ -163,9 +166,17 @@ mod tests {
 
     #[test]
     fn sort_correct_and_race_free_all_detectors() {
-        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+        for kind in [
+            DetectorKind::SfOrder,
+            DetectorKind::FOrder,
+            DetectorKind::MultiBags,
+        ] {
             let w = SortWorkload::new(SortParams { n: 512, base: 32 }, 42);
-            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let workers = if kind == DetectorKind::MultiBags {
+                1
+            } else {
+                2
+            };
             let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
             assert!(w.verify(), "{kind:?}");
             assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");

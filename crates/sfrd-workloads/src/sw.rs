@@ -52,7 +52,7 @@ pub struct SwWorkload {
 impl SwWorkload {
     /// Deterministic random sequences over a 4-letter alphabet.
     pub fn new(params: SwParams, seed: u64) -> Self {
-        assert!(params.n % params.base == 0, "base must divide n");
+        assert!(params.n.is_multiple_of(params.base), "base must divide n");
         let mut x = seed | 1;
         let mut gen = |n: usize| -> Vec<u8> {
             (0..n)
@@ -163,9 +163,17 @@ mod tests {
 
     #[test]
     fn sw_matches_reference_all_detectors() {
-        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+        for kind in [
+            DetectorKind::SfOrder,
+            DetectorKind::FOrder,
+            DetectorKind::MultiBags,
+        ] {
             let w = SwWorkload::new(SwParams { n: 32, base: 8 }, 5);
-            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let workers = if kind == DetectorKind::MultiBags {
+                1
+            } else {
+                2
+            };
             let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
             assert!(w.verify(), "{kind:?}");
             assert_eq!(out.report.unwrap().total_races, 0, "{kind:?}");
@@ -176,7 +184,11 @@ mod tests {
     fn sw_future_count_is_blocks() {
         let w = SwWorkload::new(SwParams { n: 64, base: 16 }, 9);
         let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 2));
-        assert_eq!(out.report.unwrap().counts.futures, 16, "one future per block");
+        assert_eq!(
+            out.report.unwrap().counts.futures,
+            16,
+            "one future per block"
+        );
         assert!(w.verify());
     }
 

@@ -8,9 +8,17 @@ use sfrd_workloads::{make_bench, Scale, BENCH_NAMES};
 #[ignore = "minutes of CPU; run with --ignored in release"]
 fn medium_suite_full_detection_clean() {
     for name in BENCH_NAMES {
-        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+        for kind in [
+            DetectorKind::SfOrder,
+            DetectorKind::FOrder,
+            DetectorKind::MultiBags,
+        ] {
             let w = make_bench(name, Scale::Medium, 99);
-            let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+            let workers = if kind == DetectorKind::MultiBags {
+                1
+            } else {
+                2
+            };
             let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
             assert!(w.verify_ok(), "{name} {kind:?}");
             assert_eq!(out.report.unwrap().total_races, 0, "{name} {kind:?}");
@@ -25,7 +33,10 @@ fn medium_counts_are_schedule_invariant() {
         let mut seen = None;
         for workers in [1, 2, 4] {
             let w = make_bench(name, Scale::Medium, 7);
-            let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers));
+            let out = drive(
+                &w,
+                DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers),
+            );
             let c = out.report.unwrap().counts;
             let key = (c.reads, c.writes, c.futures, c.spawns, c.gets);
             match &seen {

@@ -61,7 +61,10 @@ impl Workload for Prefetcher {
 
 fn main() {
     for racy_probe in [false, true] {
-        let w = Prefetcher { data: ShadowArray::new(CHUNKS * CHUNK), racy_probe };
+        let w = Prefetcher {
+            data: ShadowArray::new(CHUNKS * CHUNK),
+            racy_probe,
+        };
         let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 3));
         let rep = out.report.unwrap();
         println!(

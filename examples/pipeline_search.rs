@@ -11,9 +11,16 @@ use sfrd::core::{drive, DetectorKind, DriveConfig, Mode};
 use sfrd::workloads::{FerretParams, FerretWorkload};
 
 fn main() {
-    let queries: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(24);
-    let params = FerretParams { queries, width: 64, db_entries: 256, dim: 32 };
+    let queries: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(24);
+    let params = FerretParams {
+        queries,
+        width: 64,
+        db_entries: 256,
+        dim: 32,
+    };
     println!(
         "pipeline search: {queries} queries x 4 stages = {} futures, db = {} entries",
         4 * queries,

@@ -68,7 +68,10 @@ fn main() {
             report.racy_addrs.len(),
         );
         if buggy {
-            assert!(report.total_races > 0, "SF-Order must flag the buggy version");
+            assert!(
+                report.total_races > 0,
+                "SF-Order must flag the buggy version"
+            );
         } else {
             assert_eq!(report.total_races, 0, "the fixed version is race-free");
             assert_eq!(w.total.load(), (0..1024).sum::<u64>());

@@ -8,9 +8,7 @@
 
 use std::sync::Arc;
 
-use sfrd::core::{
-    drive, DetectorKind, DriveConfig, Mode, RecordingHooks, ShadowArray, Workload,
-};
+use sfrd::core::{drive, DetectorKind, DriveConfig, Mode, RecordingHooks, ShadowArray, Workload};
 use sfrd::runtime::{run_sequential, Cx};
 
 /// A task-parallel histogram with a bug: two of the four shards overlap.
@@ -44,14 +42,18 @@ impl Workload for Histogram {
 
 fn mk() -> Histogram {
     Histogram {
-        input: (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect(),
+        input: (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect(),
         bins: ShadowArray::new(256),
     }
 }
 
 /// Map a report's racy addresses back to bin indices of this instance.
 fn racy_bins(w: &Histogram, racy_addrs: &std::collections::BTreeSet<u64>) -> Vec<usize> {
-    (0..w.bins.len()).filter(|&b| racy_addrs.contains(&w.bins.addr(b))).collect()
+    (0..w.bins.len())
+        .filter(|&b| racy_addrs.contains(&w.bins.addr(b)))
+        .collect()
 }
 
 fn main() {
@@ -67,11 +69,18 @@ fn main() {
     // Step 2: reproduce deterministically with the sequential detector —
     // same verdict, single-threaded, perfect for a debugger session.
     let w2 = mk();
-    let out2 = drive(&w2, DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1));
+    let out2 = drive(
+        &w2,
+        DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1),
+    );
     let seq_bins = racy_bins(&w2, &out2.report.unwrap().racy_addrs);
     println!("[serial  / multibags] racy bins: {seq_bins:?}");
     assert_eq!(par_bins, seq_bins, "detectors agree on the racy locations");
-    assert_eq!(par_bins, (112..128).collect::<Vec<_>>(), "exactly the overlapping bins");
+    assert_eq!(
+        par_bins,
+        (112..128).collect::<Vec<_>>(),
+        "exactly the overlapping bins"
+    );
 
     // Step 3: record the dag of a serial run for offline inspection.
     let hooks = RecordingHooks::new();

@@ -19,8 +19,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
     let base: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
-    assert!(n % base == 0, "block must divide n");
-    println!("Smith-Waterman: n={n}, block={base} ({} futures)", (n / base) * (n / base));
+    assert!(n.is_multiple_of(base), "block must divide n");
+    println!(
+        "Smith-Waterman: n={n}, block={base} ({} futures)",
+        (n / base) * (n / base)
+    );
 
     // Baseline (no detection).
     let w = SwWorkload::new(SwParams { n, base }, 2026);
@@ -28,7 +31,11 @@ fn main() {
     let base_out = drive(&w, DriveConfig::base(2));
     assert!(w.verify(), "baseline result wrong");
     let base_time = base_out.wall;
-    println!("base       : {:>8.3}s (verified, t={:.3}s)", base_time.as_secs_f64(), t0.elapsed().as_secs_f64());
+    println!(
+        "base       : {:>8.3}s (verified, t={:.3}s)",
+        base_time.as_secs_f64(),
+        t0.elapsed().as_secs_f64()
+    );
 
     for (label, kind, workers) in [
         ("multibags", DetectorKind::MultiBags, 1),

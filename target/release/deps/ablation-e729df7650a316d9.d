@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-e729df7650a316d9.d: crates/sfrd-bench/benches/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-e729df7650a316d9.rmeta: crates/sfrd-bench/benches/ablation.rs Cargo.toml
+
+crates/sfrd-bench/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

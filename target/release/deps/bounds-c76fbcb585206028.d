@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bounds-c76fbcb585206028.d: tests/bounds.rs
+
+/root/repo/target/release/deps/bounds-c76fbcb585206028: tests/bounds.rs
+
+tests/bounds.rs:

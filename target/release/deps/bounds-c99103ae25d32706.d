@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bounds-c99103ae25d32706.d: tests/bounds.rs Cargo.toml
+
+/root/repo/target/release/deps/libbounds-c99103ae25d32706.rmeta: tests/bounds.rs Cargo.toml
+
+tests/bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

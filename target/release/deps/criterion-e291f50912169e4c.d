@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-e291f50912169e4c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e291f50912169e4c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

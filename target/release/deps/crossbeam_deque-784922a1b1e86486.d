@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam_deque-784922a1b1e86486.d: vendor/crossbeam-deque/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_deque-784922a1b1e86486.rmeta: vendor/crossbeam-deque/src/lib.rs
+
+vendor/crossbeam-deque/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_deque-8b7049c48e21d4a3.d: vendor/crossbeam-deque/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_deque-8b7049c48e21d4a3.rlib: vendor/crossbeam-deque/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_deque-8b7049c48e21d4a3.rmeta: vendor/crossbeam-deque/src/lib.rs
+
+vendor/crossbeam-deque/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_utils-1702ca502cbbaa03.d: vendor/crossbeam-utils/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_utils-1702ca502cbbaa03.rlib: vendor/crossbeam-utils/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_utils-1702ca502cbbaa03.rmeta: vendor/crossbeam-utils/src/lib.rs
+
+vendor/crossbeam-utils/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam_utils-689807bbc567bf25.d: vendor/crossbeam-utils/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_utils-689807bbc567bf25.rmeta: vendor/crossbeam-utils/src/lib.rs
+
+vendor/crossbeam-utils/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/detector_matrix-083edd7628674d7d.d: crates/sfrd-core/tests/detector_matrix.rs Cargo.toml
+
+/root/repo/target/release/deps/libdetector_matrix-083edd7628674d7d.rmeta: crates/sfrd-core/tests/detector_matrix.rs Cargo.toml
+
+crates/sfrd-core/tests/detector_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detector_matrix-6625736ff5de6edc.d: crates/sfrd-core/tests/detector_matrix.rs
+
+/root/repo/target/release/deps/detector_matrix-6625736ff5de6edc: crates/sfrd-core/tests/detector_matrix.rs
+
+crates/sfrd-core/tests/detector_matrix.rs:

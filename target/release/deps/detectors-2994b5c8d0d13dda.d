@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/detectors-2994b5c8d0d13dda.d: crates/sfrd-bench/benches/detectors.rs Cargo.toml
+
+/root/repo/target/release/deps/libdetectors-2994b5c8d0d13dda.rmeta: crates/sfrd-bench/benches/detectors.rs Cargo.toml
+
+crates/sfrd-bench/benches/detectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

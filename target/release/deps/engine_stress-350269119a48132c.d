@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_stress-350269119a48132c.d: crates/sfrd-reach/tests/engine_stress.rs
+
+/root/repo/target/release/deps/engine_stress-350269119a48132c: crates/sfrd-reach/tests/engine_stress.rs
+
+crates/sfrd-reach/tests/engine_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_stress-51349d5f14643189.d: crates/sfrd-reach/tests/engine_stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_stress-51349d5f14643189.rmeta: crates/sfrd-reach/tests/engine_stress.rs Cargo.toml
+
+crates/sfrd-reach/tests/engine_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

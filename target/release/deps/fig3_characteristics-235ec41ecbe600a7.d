@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_characteristics-235ec41ecbe600a7.d: crates/sfrd-bench/src/bin/fig3_characteristics.rs
+
+/root/repo/target/release/deps/fig3_characteristics-235ec41ecbe600a7: crates/sfrd-bench/src/bin/fig3_characteristics.rs
+
+crates/sfrd-bench/src/bin/fig3_characteristics.rs:

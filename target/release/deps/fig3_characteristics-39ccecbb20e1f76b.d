@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_characteristics-39ccecbb20e1f76b.d: crates/sfrd-bench/src/bin/fig3_characteristics.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_characteristics-39ccecbb20e1f76b.rmeta: crates/sfrd-bench/src/bin/fig3_characteristics.rs Cargo.toml
+
+crates/sfrd-bench/src/bin/fig3_characteristics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

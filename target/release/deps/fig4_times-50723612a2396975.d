@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_times-50723612a2396975.d: crates/sfrd-bench/src/bin/fig4_times.rs
+
+/root/repo/target/release/deps/fig4_times-50723612a2396975: crates/sfrd-bench/src/bin/fig4_times.rs
+
+crates/sfrd-bench/src/bin/fig4_times.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_times-800020cafa6a724f.d: crates/sfrd-bench/src/bin/fig4_times.rs
+
+/root/repo/target/release/deps/fig4_times-800020cafa6a724f: crates/sfrd-bench/src/bin/fig4_times.rs
+
+crates/sfrd-bench/src/bin/fig4_times.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4_times-c5c01d153621f02d.d: crates/sfrd-bench/src/bin/fig4_times.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4_times-c5c01d153621f02d.rmeta: crates/sfrd-bench/src/bin/fig4_times.rs Cargo.toml
+
+crates/sfrd-bench/src/bin/fig4_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5_memory-b4878469dc07d62c.d: crates/sfrd-bench/src/bin/fig5_memory.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5_memory-b4878469dc07d62c.rmeta: crates/sfrd-bench/src/bin/fig5_memory.rs Cargo.toml
+
+crates/sfrd-bench/src/bin/fig5_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

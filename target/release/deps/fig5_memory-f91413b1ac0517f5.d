@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_memory-f91413b1ac0517f5.d: crates/sfrd-bench/src/bin/fig5_memory.rs
+
+/root/repo/target/release/deps/fig5_memory-f91413b1ac0517f5: crates/sfrd-bench/src/bin/fig5_memory.rs
+
+crates/sfrd-bench/src/bin/fig5_memory.rs:

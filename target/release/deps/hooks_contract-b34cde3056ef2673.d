@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hooks_contract-b34cde3056ef2673.d: crates/sfrd-runtime/tests/hooks_contract.rs
+
+/root/repo/target/release/deps/hooks_contract-b34cde3056ef2673: crates/sfrd-runtime/tests/hooks_contract.rs
+
+crates/sfrd-runtime/tests/hooks_contract.rs:

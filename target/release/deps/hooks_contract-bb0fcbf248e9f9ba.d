@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hooks_contract-bb0fcbf248e9f9ba.d: crates/sfrd-runtime/tests/hooks_contract.rs Cargo.toml
+
+/root/repo/target/release/deps/libhooks_contract-bb0fcbf248e9f9ba.rmeta: crates/sfrd-runtime/tests/hooks_contract.rs Cargo.toml
+
+crates/sfrd-runtime/tests/hooks_contract.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/k_scaling-4b3253e57c3c4c80.d: crates/sfrd-bench/src/bin/k_scaling.rs
+
+/root/repo/target/release/deps/k_scaling-4b3253e57c3c4c80: crates/sfrd-bench/src/bin/k_scaling.rs
+
+crates/sfrd-bench/src/bin/k_scaling.rs:

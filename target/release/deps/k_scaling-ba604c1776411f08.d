@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/k_scaling-ba604c1776411f08.d: crates/sfrd-bench/src/bin/k_scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libk_scaling-ba604c1776411f08.rmeta: crates/sfrd-bench/src/bin/k_scaling.rs Cargo.toml
+
+crates/sfrd-bench/src/bin/k_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lemmas-2a2a1036e6edef8f.d: tests/lemmas.rs
+
+/root/repo/target/release/deps/lemmas-2a2a1036e6edef8f: tests/lemmas.rs
+
+tests/lemmas.rs:

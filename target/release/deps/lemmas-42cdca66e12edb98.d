@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lemmas-42cdca66e12edb98.d: tests/lemmas.rs Cargo.toml
+
+/root/repo/target/release/deps/liblemmas-42cdca66e12edb98.rmeta: tests/lemmas.rs Cargo.toml
+
+tests/lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

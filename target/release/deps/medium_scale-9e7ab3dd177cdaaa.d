@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/medium_scale-9e7ab3dd177cdaaa.d: crates/sfrd-workloads/tests/medium_scale.rs Cargo.toml
+
+/root/repo/target/release/deps/libmedium_scale-9e7ab3dd177cdaaa.rmeta: crates/sfrd-workloads/tests/medium_scale.rs Cargo.toml
+
+crates/sfrd-workloads/tests/medium_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

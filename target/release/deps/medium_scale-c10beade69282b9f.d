@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/medium_scale-c10beade69282b9f.d: crates/sfrd-workloads/tests/medium_scale.rs
+
+/root/repo/target/release/deps/medium_scale-c10beade69282b9f: crates/sfrd-workloads/tests/medium_scale.rs
+
+crates/sfrd-workloads/tests/medium_scale.rs:

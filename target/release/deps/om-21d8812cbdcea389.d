@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/om-21d8812cbdcea389.d: crates/sfrd-bench/benches/om.rs Cargo.toml
+
+/root/repo/target/release/deps/libom-21d8812cbdcea389.rmeta: crates/sfrd-bench/benches/om.rs Cargo.toml
+
+crates/sfrd-bench/benches/om.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/om_props-49f58ad217f3e233.d: crates/sfrd-om/tests/om_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libom_props-49f58ad217f3e233.rmeta: crates/sfrd-om/tests/om_props.rs Cargo.toml
+
+crates/sfrd-om/tests/om_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

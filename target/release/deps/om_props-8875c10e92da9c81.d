@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/om_props-8875c10e92da9c81.d: crates/sfrd-om/tests/om_props.rs
+
+/root/repo/target/release/deps/om_props-8875c10e92da9c81: crates/sfrd-om/tests/om_props.rs
+
+crates/sfrd-om/tests/om_props.rs:

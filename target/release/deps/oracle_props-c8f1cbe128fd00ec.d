@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_props-c8f1cbe128fd00ec.d: crates/sfrd-reach/tests/oracle_props.rs
+
+/root/repo/target/release/deps/oracle_props-c8f1cbe128fd00ec: crates/sfrd-reach/tests/oracle_props.rs
+
+crates/sfrd-reach/tests/oracle_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oracle_props-e287405c6c9f635c.d: crates/sfrd-reach/tests/oracle_props.rs Cargo.toml
+
+/root/repo/target/release/deps/liboracle_props-e287405c6c9f635c.rmeta: crates/sfrd-reach/tests/oracle_props.rs Cargo.toml
+
+crates/sfrd-reach/tests/oracle_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_example-609eaa36a214d0a8.d: tests/paper_example.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_example-609eaa36a214d0a8.rmeta: tests/paper_example.rs Cargo.toml
+
+tests/paper_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_example-b1fc0e8bd9fba01e.d: tests/paper_example.rs
+
+/root/repo/target/release/deps/paper_example-b1fc0e8bd9fba01e: tests/paper_example.rs
+
+tests/paper_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_oracle-1366509119f27e06.d: tests/parallel_oracle.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_oracle-1366509119f27e06.rmeta: tests/parallel_oracle.rs Cargo.toml
+
+tests/parallel_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_oracle-7c8f67ac6fd19ded.d: tests/parallel_oracle.rs
+
+/root/repo/target/release/deps/parallel_oracle-7c8f67ac6fd19ded: tests/parallel_oracle.rs
+
+tests/parallel_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-15d049d17eb49891.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-15d049d17eb49891.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-dd98420f3f0dc879.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dd98420f3f0dc879.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-2530c236b5fa50ba.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2530c236b5fa50ba.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d93d7983c130fd04.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d93d7983c130fd04.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d93d7983c130fd04.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reach_query-6c98167a856e86cb.d: crates/sfrd-bench/benches/reach_query.rs Cargo.toml
+
+/root/repo/target/release/deps/libreach_query-6c98167a856e86cb.rmeta: crates/sfrd-bench/benches/reach_query.rs Cargo.toml
+
+crates/sfrd-bench/benches/reach_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sfrd-356584dedc3c8be9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd-356584dedc3c8be9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

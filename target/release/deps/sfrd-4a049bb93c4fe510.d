@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sfrd-4a049bb93c4fe510.d: src/lib.rs
+
+/root/repo/target/release/deps/libsfrd-4a049bb93c4fe510.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsfrd-4a049bb93c4fe510.rmeta: src/lib.rs
+
+src/lib.rs:

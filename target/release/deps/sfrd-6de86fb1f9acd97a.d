@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfrd-6de86fb1f9acd97a.d: src/lib.rs
+
+/root/repo/target/release/deps/sfrd-6de86fb1f9acd97a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sfrd-d8189a9325612dbc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd-d8189a9325612dbc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfrd-e3a47fd5515df14b.d: src/lib.rs
+
+/root/repo/target/release/deps/libsfrd-e3a47fd5515df14b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sfrd_bench-2c8fbf64dd61b6c8.d: crates/sfrd-bench/src/lib.rs
+
+/root/repo/target/release/deps/libsfrd_bench-2c8fbf64dd61b6c8.rlib: crates/sfrd-bench/src/lib.rs
+
+/root/repo/target/release/deps/libsfrd_bench-2c8fbf64dd61b6c8.rmeta: crates/sfrd-bench/src/lib.rs
+
+crates/sfrd-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfrd_bench-9a26fb7215fae7db.d: crates/sfrd-bench/src/lib.rs
+
+/root/repo/target/release/deps/sfrd_bench-9a26fb7215fae7db: crates/sfrd-bench/src/lib.rs
+
+crates/sfrd-bench/src/lib.rs:

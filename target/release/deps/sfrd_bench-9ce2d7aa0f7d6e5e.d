@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sfrd_bench-9ce2d7aa0f7d6e5e.d: crates/sfrd-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd_bench-9ce2d7aa0f7d6e5e.rmeta: crates/sfrd-bench/src/lib.rs Cargo.toml
+
+crates/sfrd-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sfrd_core-35a6d107c768d155.d: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd_core-35a6d107c768d155.rmeta: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs Cargo.toml
+
+crates/sfrd-core/src/lib.rs:
+crates/sfrd-core/src/detectors.rs:
+crates/sfrd-core/src/driver.rs:
+crates/sfrd-core/src/fastpath.rs:
+crates/sfrd-core/src/recording.rs:
+crates/sfrd-core/src/report.rs:
+crates/sfrd-core/src/shared.rs:
+crates/sfrd-core/src/wsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

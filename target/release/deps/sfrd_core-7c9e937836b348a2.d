@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sfrd_core-7c9e937836b348a2.d: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs
+
+/root/repo/target/release/deps/libsfrd_core-7c9e937836b348a2.rlib: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs
+
+/root/repo/target/release/deps/libsfrd_core-7c9e937836b348a2.rmeta: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs
+
+crates/sfrd-core/src/lib.rs:
+crates/sfrd-core/src/detectors.rs:
+crates/sfrd-core/src/driver.rs:
+crates/sfrd-core/src/fastpath.rs:
+crates/sfrd-core/src/recording.rs:
+crates/sfrd-core/src/report.rs:
+crates/sfrd-core/src/shared.rs:
+crates/sfrd-core/src/wsp.rs:

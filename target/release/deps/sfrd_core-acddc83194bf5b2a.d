@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sfrd_core-acddc83194bf5b2a.d: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs
+
+/root/repo/target/release/deps/libsfrd_core-acddc83194bf5b2a.rmeta: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs
+
+crates/sfrd-core/src/lib.rs:
+crates/sfrd-core/src/detectors.rs:
+crates/sfrd-core/src/driver.rs:
+crates/sfrd-core/src/fastpath.rs:
+crates/sfrd-core/src/recording.rs:
+crates/sfrd-core/src/report.rs:
+crates/sfrd-core/src/shared.rs:
+crates/sfrd-core/src/wsp.rs:

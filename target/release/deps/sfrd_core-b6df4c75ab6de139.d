@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sfrd_core-b6df4c75ab6de139.d: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs
+
+/root/repo/target/release/deps/sfrd_core-b6df4c75ab6de139: crates/sfrd-core/src/lib.rs crates/sfrd-core/src/detectors.rs crates/sfrd-core/src/driver.rs crates/sfrd-core/src/fastpath.rs crates/sfrd-core/src/recording.rs crates/sfrd-core/src/report.rs crates/sfrd-core/src/shared.rs crates/sfrd-core/src/wsp.rs
+
+crates/sfrd-core/src/lib.rs:
+crates/sfrd-core/src/detectors.rs:
+crates/sfrd-core/src/driver.rs:
+crates/sfrd-core/src/fastpath.rs:
+crates/sfrd-core/src/recording.rs:
+crates/sfrd-core/src/report.rs:
+crates/sfrd-core/src/shared.rs:
+crates/sfrd-core/src/wsp.rs:

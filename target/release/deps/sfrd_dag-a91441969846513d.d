@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sfrd_dag-a91441969846513d.d: crates/sfrd-dag/src/lib.rs crates/sfrd-dag/src/generator.rs crates/sfrd-dag/src/graph.rs crates/sfrd-dag/src/ids.rs crates/sfrd-dag/src/oracle.rs crates/sfrd-dag/src/paths.rs crates/sfrd-dag/src/recorder.rs crates/sfrd-dag/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd_dag-a91441969846513d.rmeta: crates/sfrd-dag/src/lib.rs crates/sfrd-dag/src/generator.rs crates/sfrd-dag/src/graph.rs crates/sfrd-dag/src/ids.rs crates/sfrd-dag/src/oracle.rs crates/sfrd-dag/src/paths.rs crates/sfrd-dag/src/recorder.rs crates/sfrd-dag/src/trace.rs Cargo.toml
+
+crates/sfrd-dag/src/lib.rs:
+crates/sfrd-dag/src/generator.rs:
+crates/sfrd-dag/src/graph.rs:
+crates/sfrd-dag/src/ids.rs:
+crates/sfrd-dag/src/oracle.rs:
+crates/sfrd-dag/src/paths.rs:
+crates/sfrd-dag/src/recorder.rs:
+crates/sfrd-dag/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sfrd_dag-b8a89968c40d4d86.d: crates/sfrd-dag/src/lib.rs crates/sfrd-dag/src/generator.rs crates/sfrd-dag/src/graph.rs crates/sfrd-dag/src/ids.rs crates/sfrd-dag/src/oracle.rs crates/sfrd-dag/src/paths.rs crates/sfrd-dag/src/recorder.rs crates/sfrd-dag/src/trace.rs
+
+/root/repo/target/release/deps/sfrd_dag-b8a89968c40d4d86: crates/sfrd-dag/src/lib.rs crates/sfrd-dag/src/generator.rs crates/sfrd-dag/src/graph.rs crates/sfrd-dag/src/ids.rs crates/sfrd-dag/src/oracle.rs crates/sfrd-dag/src/paths.rs crates/sfrd-dag/src/recorder.rs crates/sfrd-dag/src/trace.rs
+
+crates/sfrd-dag/src/lib.rs:
+crates/sfrd-dag/src/generator.rs:
+crates/sfrd-dag/src/graph.rs:
+crates/sfrd-dag/src/ids.rs:
+crates/sfrd-dag/src/oracle.rs:
+crates/sfrd-dag/src/paths.rs:
+crates/sfrd-dag/src/recorder.rs:
+crates/sfrd-dag/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sfrd_dag-ff21b08896503a72.d: crates/sfrd-dag/src/lib.rs crates/sfrd-dag/src/generator.rs crates/sfrd-dag/src/graph.rs crates/sfrd-dag/src/ids.rs crates/sfrd-dag/src/oracle.rs crates/sfrd-dag/src/paths.rs crates/sfrd-dag/src/recorder.rs crates/sfrd-dag/src/trace.rs
+
+/root/repo/target/release/deps/libsfrd_dag-ff21b08896503a72.rlib: crates/sfrd-dag/src/lib.rs crates/sfrd-dag/src/generator.rs crates/sfrd-dag/src/graph.rs crates/sfrd-dag/src/ids.rs crates/sfrd-dag/src/oracle.rs crates/sfrd-dag/src/paths.rs crates/sfrd-dag/src/recorder.rs crates/sfrd-dag/src/trace.rs
+
+/root/repo/target/release/deps/libsfrd_dag-ff21b08896503a72.rmeta: crates/sfrd-dag/src/lib.rs crates/sfrd-dag/src/generator.rs crates/sfrd-dag/src/graph.rs crates/sfrd-dag/src/ids.rs crates/sfrd-dag/src/oracle.rs crates/sfrd-dag/src/paths.rs crates/sfrd-dag/src/recorder.rs crates/sfrd-dag/src/trace.rs
+
+crates/sfrd-dag/src/lib.rs:
+crates/sfrd-dag/src/generator.rs:
+crates/sfrd-dag/src/graph.rs:
+crates/sfrd-dag/src/ids.rs:
+crates/sfrd-dag/src/oracle.rs:
+crates/sfrd-dag/src/paths.rs:
+crates/sfrd-dag/src/recorder.rs:
+crates/sfrd-dag/src/trace.rs:

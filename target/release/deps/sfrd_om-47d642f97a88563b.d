@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sfrd_om-47d642f97a88563b.d: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs
+
+/root/repo/target/release/deps/sfrd_om-47d642f97a88563b: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs
+
+crates/sfrd-om/src/lib.rs:
+crates/sfrd-om/src/arena.rs:
+crates/sfrd-om/src/list.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sfrd_om-dc1057e3f176998e.d: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd_om-dc1057e3f176998e.rmeta: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs Cargo.toml
+
+crates/sfrd-om/src/lib.rs:
+crates/sfrd-om/src/arena.rs:
+crates/sfrd-om/src/list.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

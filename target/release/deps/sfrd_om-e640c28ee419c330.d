@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sfrd_om-e640c28ee419c330.d: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs
+
+/root/repo/target/release/deps/libsfrd_om-e640c28ee419c330.rlib: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs
+
+/root/repo/target/release/deps/libsfrd_om-e640c28ee419c330.rmeta: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs
+
+crates/sfrd-om/src/lib.rs:
+crates/sfrd-om/src/arena.rs:
+crates/sfrd-om/src/list.rs:

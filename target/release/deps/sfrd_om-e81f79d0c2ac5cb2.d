@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sfrd_om-e81f79d0c2ac5cb2.d: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs
+
+/root/repo/target/release/deps/libsfrd_om-e81f79d0c2ac5cb2.rmeta: crates/sfrd-om/src/lib.rs crates/sfrd-om/src/arena.rs crates/sfrd-om/src/list.rs
+
+crates/sfrd-om/src/lib.rs:
+crates/sfrd-om/src/arena.rs:
+crates/sfrd-om/src/list.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sfrd_reach-30092fd0711fd08e.d: crates/sfrd-reach/src/lib.rs crates/sfrd-reach/src/bitmap.rs crates/sfrd-reach/src/f_order.rs crates/sfrd-reach/src/hash.rs crates/sfrd-reach/src/multibags.rs crates/sfrd-reach/src/sf_order.rs crates/sfrd-reach/src/sp_order.rs
+
+/root/repo/target/release/deps/sfrd_reach-30092fd0711fd08e: crates/sfrd-reach/src/lib.rs crates/sfrd-reach/src/bitmap.rs crates/sfrd-reach/src/f_order.rs crates/sfrd-reach/src/hash.rs crates/sfrd-reach/src/multibags.rs crates/sfrd-reach/src/sf_order.rs crates/sfrd-reach/src/sp_order.rs
+
+crates/sfrd-reach/src/lib.rs:
+crates/sfrd-reach/src/bitmap.rs:
+crates/sfrd-reach/src/f_order.rs:
+crates/sfrd-reach/src/hash.rs:
+crates/sfrd-reach/src/multibags.rs:
+crates/sfrd-reach/src/sf_order.rs:
+crates/sfrd-reach/src/sp_order.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sfrd_reach-c2056667cffe0e2f.d: crates/sfrd-reach/src/lib.rs crates/sfrd-reach/src/bitmap.rs crates/sfrd-reach/src/f_order.rs crates/sfrd-reach/src/hash.rs crates/sfrd-reach/src/multibags.rs crates/sfrd-reach/src/sf_order.rs crates/sfrd-reach/src/sp_order.rs
+
+/root/repo/target/release/deps/libsfrd_reach-c2056667cffe0e2f.rlib: crates/sfrd-reach/src/lib.rs crates/sfrd-reach/src/bitmap.rs crates/sfrd-reach/src/f_order.rs crates/sfrd-reach/src/hash.rs crates/sfrd-reach/src/multibags.rs crates/sfrd-reach/src/sf_order.rs crates/sfrd-reach/src/sp_order.rs
+
+/root/repo/target/release/deps/libsfrd_reach-c2056667cffe0e2f.rmeta: crates/sfrd-reach/src/lib.rs crates/sfrd-reach/src/bitmap.rs crates/sfrd-reach/src/f_order.rs crates/sfrd-reach/src/hash.rs crates/sfrd-reach/src/multibags.rs crates/sfrd-reach/src/sf_order.rs crates/sfrd-reach/src/sp_order.rs
+
+crates/sfrd-reach/src/lib.rs:
+crates/sfrd-reach/src/bitmap.rs:
+crates/sfrd-reach/src/f_order.rs:
+crates/sfrd-reach/src/hash.rs:
+crates/sfrd-reach/src/multibags.rs:
+crates/sfrd-reach/src/sf_order.rs:
+crates/sfrd-reach/src/sp_order.rs:

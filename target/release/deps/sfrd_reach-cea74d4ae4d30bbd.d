@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sfrd_reach-cea74d4ae4d30bbd.d: crates/sfrd-reach/src/lib.rs crates/sfrd-reach/src/bitmap.rs crates/sfrd-reach/src/f_order.rs crates/sfrd-reach/src/hash.rs crates/sfrd-reach/src/multibags.rs crates/sfrd-reach/src/sf_order.rs crates/sfrd-reach/src/sp_order.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd_reach-cea74d4ae4d30bbd.rmeta: crates/sfrd-reach/src/lib.rs crates/sfrd-reach/src/bitmap.rs crates/sfrd-reach/src/f_order.rs crates/sfrd-reach/src/hash.rs crates/sfrd-reach/src/multibags.rs crates/sfrd-reach/src/sf_order.rs crates/sfrd-reach/src/sp_order.rs Cargo.toml
+
+crates/sfrd-reach/src/lib.rs:
+crates/sfrd-reach/src/bitmap.rs:
+crates/sfrd-reach/src/f_order.rs:
+crates/sfrd-reach/src/hash.rs:
+crates/sfrd-reach/src/multibags.rs:
+crates/sfrd-reach/src/sf_order.rs:
+crates/sfrd-reach/src/sp_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

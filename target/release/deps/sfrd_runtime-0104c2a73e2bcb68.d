@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sfrd_runtime-0104c2a73e2bcb68.d: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd_runtime-0104c2a73e2bcb68.rmeta: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs Cargo.toml
+
+crates/sfrd-runtime/src/lib.rs:
+crates/sfrd-runtime/src/hooks.rs:
+crates/sfrd-runtime/src/parallel.rs:
+crates/sfrd-runtime/src/sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sfrd_runtime-20306289f3cb6bc4.d: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs
+
+/root/repo/target/release/deps/libsfrd_runtime-20306289f3cb6bc4.rmeta: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs
+
+crates/sfrd-runtime/src/lib.rs:
+crates/sfrd-runtime/src/hooks.rs:
+crates/sfrd-runtime/src/parallel.rs:
+crates/sfrd-runtime/src/sequential.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sfrd_runtime-31ca1bbdbd5e4a81.d: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs
+
+/root/repo/target/release/deps/libsfrd_runtime-31ca1bbdbd5e4a81.rlib: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs
+
+/root/repo/target/release/deps/libsfrd_runtime-31ca1bbdbd5e4a81.rmeta: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs
+
+crates/sfrd-runtime/src/lib.rs:
+crates/sfrd-runtime/src/hooks.rs:
+crates/sfrd-runtime/src/parallel.rs:
+crates/sfrd-runtime/src/sequential.rs:

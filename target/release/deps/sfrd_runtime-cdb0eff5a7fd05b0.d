@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sfrd_runtime-cdb0eff5a7fd05b0.d: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs
+
+/root/repo/target/release/deps/sfrd_runtime-cdb0eff5a7fd05b0: crates/sfrd-runtime/src/lib.rs crates/sfrd-runtime/src/hooks.rs crates/sfrd-runtime/src/parallel.rs crates/sfrd-runtime/src/sequential.rs
+
+crates/sfrd-runtime/src/lib.rs:
+crates/sfrd-runtime/src/hooks.rs:
+crates/sfrd-runtime/src/parallel.rs:
+crates/sfrd-runtime/src/sequential.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sfrd_shadow-2953516baf92958b.d: crates/sfrd-shadow/src/lib.rs
+
+/root/repo/target/release/deps/libsfrd_shadow-2953516baf92958b.rlib: crates/sfrd-shadow/src/lib.rs
+
+/root/repo/target/release/deps/libsfrd_shadow-2953516baf92958b.rmeta: crates/sfrd-shadow/src/lib.rs
+
+crates/sfrd-shadow/src/lib.rs:

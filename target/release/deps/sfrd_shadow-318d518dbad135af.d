@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfrd_shadow-318d518dbad135af.d: crates/sfrd-shadow/src/lib.rs
+
+/root/repo/target/release/deps/libsfrd_shadow-318d518dbad135af.rmeta: crates/sfrd-shadow/src/lib.rs
+
+crates/sfrd-shadow/src/lib.rs:

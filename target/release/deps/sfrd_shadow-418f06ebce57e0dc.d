@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfrd_shadow-418f06ebce57e0dc.d: crates/sfrd-shadow/src/lib.rs
+
+/root/repo/target/release/deps/sfrd_shadow-418f06ebce57e0dc: crates/sfrd-shadow/src/lib.rs
+
+crates/sfrd-shadow/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sfrd_shadow-ef5c25886bf3fbd5.d: crates/sfrd-shadow/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd_shadow-ef5c25886bf3fbd5.rmeta: crates/sfrd-shadow/src/lib.rs Cargo.toml
+
+crates/sfrd-shadow/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sfrd_workloads-283990ecd777dfc5.d: crates/sfrd-workloads/src/lib.rs crates/sfrd-workloads/src/ferret.rs crates/sfrd-workloads/src/hw.rs crates/sfrd-workloads/src/lcs.rs crates/sfrd-workloads/src/mm.rs crates/sfrd-workloads/src/sort.rs crates/sfrd-workloads/src/sw.rs Cargo.toml
+
+/root/repo/target/release/deps/libsfrd_workloads-283990ecd777dfc5.rmeta: crates/sfrd-workloads/src/lib.rs crates/sfrd-workloads/src/ferret.rs crates/sfrd-workloads/src/hw.rs crates/sfrd-workloads/src/lcs.rs crates/sfrd-workloads/src/mm.rs crates/sfrd-workloads/src/sort.rs crates/sfrd-workloads/src/sw.rs Cargo.toml
+
+crates/sfrd-workloads/src/lib.rs:
+crates/sfrd-workloads/src/ferret.rs:
+crates/sfrd-workloads/src/hw.rs:
+crates/sfrd-workloads/src/lcs.rs:
+crates/sfrd-workloads/src/mm.rs:
+crates/sfrd-workloads/src/sort.rs:
+crates/sfrd-workloads/src/sw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

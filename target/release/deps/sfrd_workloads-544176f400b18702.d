@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sfrd_workloads-544176f400b18702.d: crates/sfrd-workloads/src/lib.rs crates/sfrd-workloads/src/ferret.rs crates/sfrd-workloads/src/hw.rs crates/sfrd-workloads/src/lcs.rs crates/sfrd-workloads/src/mm.rs crates/sfrd-workloads/src/sort.rs crates/sfrd-workloads/src/sw.rs
+
+/root/repo/target/release/deps/sfrd_workloads-544176f400b18702: crates/sfrd-workloads/src/lib.rs crates/sfrd-workloads/src/ferret.rs crates/sfrd-workloads/src/hw.rs crates/sfrd-workloads/src/lcs.rs crates/sfrd-workloads/src/mm.rs crates/sfrd-workloads/src/sort.rs crates/sfrd-workloads/src/sw.rs
+
+crates/sfrd-workloads/src/lib.rs:
+crates/sfrd-workloads/src/ferret.rs:
+crates/sfrd-workloads/src/hw.rs:
+crates/sfrd-workloads/src/lcs.rs:
+crates/sfrd-workloads/src/mm.rs:
+crates/sfrd-workloads/src/sort.rs:
+crates/sfrd-workloads/src/sw.rs:

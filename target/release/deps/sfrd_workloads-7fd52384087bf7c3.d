@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sfrd_workloads-7fd52384087bf7c3.d: crates/sfrd-workloads/src/lib.rs crates/sfrd-workloads/src/ferret.rs crates/sfrd-workloads/src/hw.rs crates/sfrd-workloads/src/lcs.rs crates/sfrd-workloads/src/mm.rs crates/sfrd-workloads/src/sort.rs crates/sfrd-workloads/src/sw.rs
+
+/root/repo/target/release/deps/libsfrd_workloads-7fd52384087bf7c3.rlib: crates/sfrd-workloads/src/lib.rs crates/sfrd-workloads/src/ferret.rs crates/sfrd-workloads/src/hw.rs crates/sfrd-workloads/src/lcs.rs crates/sfrd-workloads/src/mm.rs crates/sfrd-workloads/src/sort.rs crates/sfrd-workloads/src/sw.rs
+
+/root/repo/target/release/deps/libsfrd_workloads-7fd52384087bf7c3.rmeta: crates/sfrd-workloads/src/lib.rs crates/sfrd-workloads/src/ferret.rs crates/sfrd-workloads/src/hw.rs crates/sfrd-workloads/src/lcs.rs crates/sfrd-workloads/src/mm.rs crates/sfrd-workloads/src/sort.rs crates/sfrd-workloads/src/sw.rs
+
+crates/sfrd-workloads/src/lib.rs:
+crates/sfrd-workloads/src/ferret.rs:
+crates/sfrd-workloads/src/hw.rs:
+crates/sfrd-workloads/src/lcs.rs:
+crates/sfrd-workloads/src/mm.rs:
+crates/sfrd-workloads/src/sort.rs:
+crates/sfrd-workloads/src/sw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stress-1c4a2824612d4264.d: crates/sfrd-runtime/tests/stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libstress-1c4a2824612d4264.rmeta: crates/sfrd-runtime/tests/stress.rs Cargo.toml
+
+crates/sfrd-runtime/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-7769e692867df63b.d: crates/sfrd-runtime/tests/stress.rs
+
+/root/repo/target/release/deps/stress-7769e692867df63b: crates/sfrd-runtime/tests/stress.rs
+
+crates/sfrd-runtime/tests/stress.rs:

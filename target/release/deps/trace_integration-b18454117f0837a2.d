@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_integration-b18454117f0837a2.d: tests/trace_integration.rs
+
+/root/repo/target/release/deps/trace_integration-b18454117f0837a2: tests/trace_integration.rs
+
+tests/trace_integration.rs:

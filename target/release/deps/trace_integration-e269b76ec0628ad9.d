@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_integration-e269b76ec0628ad9.d: tests/trace_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_integration-e269b76ec0628ad9.rmeta: tests/trace_integration.rs Cargo.toml
+
+tests/trace_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-4f284c5378e2d8e1.d: crates/sfrd-bench/src/bin/trace_tool.rs
+
+/root/repo/target/release/deps/trace_tool-4f284c5378e2d8e1: crates/sfrd-bench/src/bin/trace_tool.rs
+
+crates/sfrd-bench/src/bin/trace_tool.rs:

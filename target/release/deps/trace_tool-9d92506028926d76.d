@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_tool-9d92506028926d76.d: crates/sfrd-bench/src/bin/trace_tool.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_tool-9d92506028926d76.rmeta: crates/sfrd-bench/src/bin/trace_tool.rs Cargo.toml
+
+crates/sfrd-bench/src/bin/trace_tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-a47178d4cacf17fc.d: crates/sfrd-bench/src/bin/trace_tool.rs
+
+/root/repo/target/release/deps/trace_tool-a47178d4cacf17fc: crates/sfrd-bench/src/bin/trace_tool.rs
+
+crates/sfrd-bench/src/bin/trace_tool.rs:

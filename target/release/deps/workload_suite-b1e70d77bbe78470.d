@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workload_suite-b1e70d77bbe78470.d: tests/workload_suite.rs Cargo.toml
+
+/root/repo/target/release/deps/libworkload_suite-b1e70d77bbe78470.rmeta: tests/workload_suite.rs Cargo.toml
+
+tests/workload_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_suite-dc591b3c557ced0d.d: tests/workload_suite.rs
+
+/root/repo/target/release/deps/workload_suite-dc591b3c557ced0d: tests/workload_suite.rs
+
+tests/workload_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/escaping_futures-a7c24de47590e860.d: examples/escaping_futures.rs
+
+/root/repo/target/release/examples/escaping_futures-a7c24de47590e860: examples/escaping_futures.rs
+
+examples/escaping_futures.rs:

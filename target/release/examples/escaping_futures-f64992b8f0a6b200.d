@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/escaping_futures-f64992b8f0a6b200.d: examples/escaping_futures.rs Cargo.toml
+
+/root/repo/target/release/examples/libescaping_futures-f64992b8f0a6b200.rmeta: examples/escaping_futures.rs Cargo.toml
+
+examples/escaping_futures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/pipeline_search-1cd1307506f2be3c.d: examples/pipeline_search.rs Cargo.toml
+
+/root/repo/target/release/examples/libpipeline_search-1cd1307506f2be3c.rmeta: examples/pipeline_search.rs Cargo.toml
+
+examples/pipeline_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pipeline_search-af054c2547282a9f.d: examples/pipeline_search.rs
+
+/root/repo/target/release/examples/pipeline_search-af054c2547282a9f: examples/pipeline_search.rs
+
+examples/pipeline_search.rs:

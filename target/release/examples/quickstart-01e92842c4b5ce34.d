@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-01e92842c4b5ce34.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-01e92842c4b5ce34: examples/quickstart.rs
+
+examples/quickstart.rs:

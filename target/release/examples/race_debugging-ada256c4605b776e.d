@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/race_debugging-ada256c4605b776e.d: examples/race_debugging.rs Cargo.toml
+
+/root/repo/target/release/examples/librace_debugging-ada256c4605b776e.rmeta: examples/race_debugging.rs Cargo.toml
+
+examples/race_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/race_debugging-cab248ce05b06c07.d: examples/race_debugging.rs
+
+/root/repo/target/release/examples/race_debugging-cab248ce05b06c07: examples/race_debugging.rs
+
+examples/race_debugging.rs:

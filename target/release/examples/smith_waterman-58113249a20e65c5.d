@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smith_waterman-58113249a20e65c5.d: examples/smith_waterman.rs
+
+/root/repo/target/release/examples/smith_waterman-58113249a20e65c5: examples/smith_waterman.rs
+
+examples/smith_waterman.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/smith_waterman-99106b2328596763.d: examples/smith_waterman.rs Cargo.toml
+
+/root/repo/target/release/examples/libsmith_waterman-99106b2328596763.rmeta: examples/smith_waterman.rs Cargo.toml
+
+examples/smith_waterman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

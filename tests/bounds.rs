@@ -36,7 +36,11 @@ fn gp_merges_linear_in_k() {
     for _ in 0..25 {
         let prog = GenProgram::random(
             &mut rng,
-            &GenParams { max_tasks: 40, max_body_len: 8, ..Default::default() },
+            &GenParams {
+                max_tasks: 40,
+                max_body_len: 8,
+                ..Default::default()
+            },
         );
         let w = GenWorkload(prog);
         let det = run_sf(&w, ReaderPolicy::All, 2);
@@ -93,7 +97,11 @@ fn reader_retention_bounded_by_2k() {
     let det = run_sf(&ReadStorm, ReaderPolicy::PerFutureLR, 2);
     let k = det.reach().future_count() as usize;
     let max = det.history().unwrap().max_retained_readers();
-    assert!(max <= 2 * k, "retained {max} readers, bound is 2k = {}", 2 * k);
+    assert!(
+        max <= 2 * k,
+        "retained {max} readers, bound is 2k = {}",
+        2 * k
+    );
     // And the storm is race-free (write precedes all creates/spawns).
     assert_eq!(det.report().total_races, 0);
 

@@ -12,7 +12,11 @@ fn record(seed: u64) -> RecordedProgram {
     let mut rng = StdRng::seed_from_u64(seed);
     let prog = GenProgram::random(
         &mut rng,
-        &GenParams { max_tasks: 18, max_body_len: 5, ..Default::default() },
+        &GenParams {
+            max_tasks: 18,
+            max_body_len: 5,
+            ..Default::default()
+        },
     );
     let (rec, mut root) = Recorder::new();
     replay(&prog, &mut (&rec), &mut root);
@@ -59,7 +63,9 @@ fn lemma_3_4_cross_future_reach_goes_through_last() {
         let full = ReachOracle::build(&prog.dag, |k| k != EdgeKind::PspJoin);
         for u in prog.dag.node_ids() {
             let fu = prog.dag.node(u).future;
-            let Some(last_f) = prog.dag.future(fu).last else { continue };
+            let Some(last_f) = prog.dag.future(fu).last else {
+                continue;
+            };
             for v in prog.dag.node_ids() {
                 let fv = prog.dag.node(v).future;
                 if fu == fv || f_ancs(&prog, fv).contains(&fu) {
@@ -83,9 +89,7 @@ fn lemma_3_5_and_3_8_ancestor_paths_avoid_gets() {
     for seed in 0..30u64 {
         let prog = record(seed);
         let full = ReachOracle::build(&prog.dag, |k| k != EdgeKind::PspJoin);
-        let no_gets = ReachOracle::build(&prog.dag, |k| {
-            k.is_sp() || k == EdgeKind::CreateChild
-        });
+        let no_gets = ReachOracle::build(&prog.dag, |k| k.is_sp() || k == EdgeKind::CreateChild);
         for u in prog.dag.node_ids() {
             let fu = prog.dag.node(u).future;
             for v in prog.dag.node_ids() {
@@ -142,11 +146,11 @@ fn lemma_3_1_serial_execution_exists() {
     // only reach its ancestor's tail via a get).
     for seed in 0..30u64 {
         let prog = record(seed);
-        let no_gets = ReachOracle::build(&prog.dag, |k| {
-            k.is_sp() || k == EdgeKind::CreateChild
-        });
+        let no_gets = ReachOracle::build(&prog.dag, |k| k.is_sp() || k == EdgeKind::CreateChild);
         for g in prog.dag.future_ids() {
-            let Some(last_g) = prog.dag.future(g).last else { continue };
+            let Some(last_g) = prog.dag.future(g).last else {
+                continue;
+            };
             for f in f_ancs(&prog, g) {
                 if let Some(last_f) = prog.dag.future(f).last {
                     assert!(

@@ -82,7 +82,10 @@ fn running_example_phenomena() {
     // (Query direction: is i a predecessor of C's body? No.)
     // We need C's strand for the query target; C ended, but its final
     // strand is still valid as a query target.
-    assert!(!eng.precedes(i, &c), "i ⊀ f: post-create strand ∥ created body");
+    assert!(
+        !eng.precedes(i, &c),
+        "i ⊀ f: post-create strand ∥ created body"
+    );
     // While the pre-create strand e ≺ f (case 2, PSP route):
     assert!(eng.precedes(e, &c), "e ≺ f through the create chain");
 
@@ -101,7 +104,10 @@ fn running_example_phenomena() {
 /// the oracle agrees with every phenomenon above.
 #[test]
 fn running_example_oracle_crosscheck() {
-    let pair = PairHooks(RecordingHooks::new(), SfDetector::new(Mode::Full, sfrd::shadow::ReaderPolicy::All));
+    let pair = PairHooks(
+        RecordingHooks::new(),
+        SfDetector::new(Mode::Full, sfrd::shadow::ReaderPolicy::All),
+    );
     // Unique addresses per probe point; conflicts engineered where the
     // phenomena predict parallelism (C's body vs post-sync strand).
     run_sequential(&pair, |ctx| {
@@ -130,10 +136,17 @@ fn running_example_oracle_crosscheck() {
 
     // Oracle: the only racy address is C's body location.
     let racy: Vec<u64> = recorded.races().iter().map(|r| r.addr).collect();
-    assert_eq!(racy, vec![0xF0], "exactly the escaping-future location races");
+    assert_eq!(
+        racy,
+        vec![0xF0],
+        "exactly the escaping-future location races"
+    );
 
     // Detector found the same.
-    assert_eq!(det.report().racy_addrs.into_iter().collect::<Vec<_>>(), vec![0xF0]);
+    assert_eq!(
+        det.report().racy_addrs.into_iter().collect::<Vec<_>>(),
+        vec![0xF0]
+    );
 
     // And the PSP really does contain the phantom path (fake edge route):
     // C's last node reaches the final strand in PSP but not in D.
@@ -143,6 +156,12 @@ fn running_example_oracle_crosscheck() {
     let c_future = sfrd::dag::FutureId(2);
     let c_last = recorded.dag.future(c_future).last.unwrap();
     let a_last = recorded.dag.future(sfrd::dag::FutureId(0)).last.unwrap();
-    assert!(psp_oracle.reaches(c_last, a_last), "PSP has the phantom path");
-    assert!(!true_oracle.reaches(c_last, a_last), "the true dag does not");
+    assert!(
+        psp_oracle.reaches(c_last, a_last),
+        "PSP has the phantom path"
+    );
+    assert!(
+        !true_oracle.reaches(c_last, a_last),
+        "the true dag does not"
+    );
 }

@@ -22,7 +22,12 @@ fn oracle_racy_addrs(rec: &sfrd::dag::RecordedProgram) -> BTreeSet<u64> {
 }
 
 fn gen_params() -> GenParams {
-    GenParams { max_tasks: 24, max_body_len: 6, addr_space: 4, ..Default::default() }
+    GenParams {
+        max_tasks: 24,
+        max_body_len: 6,
+        addr_space: 4,
+        ..Default::default()
+    }
 }
 
 /// SF-Order under the parallel runtime, both reader policies.
@@ -63,7 +68,10 @@ fn f_order_parallel_matches_oracle() {
     for round in 0..12 {
         let prog = GenProgram::random(&mut rng, &gen_params());
         for workers in [1, 3] {
-            let hooks = Arc::new(PairHooks(RecordingHooks::new(), FoDetector::new(Mode::Full)));
+            let hooks = Arc::new(PairHooks(
+                RecordingHooks::new(),
+                FoDetector::new(Mode::Full),
+            ));
             let rt: Runtime<PairHooks<RecordingHooks, FoDetector>> = Runtime::new(workers);
             let w = GenWorkload(prog.clone());
             rt.run(Arc::clone(&hooks), |ctx| w.run(ctx));
@@ -72,7 +80,10 @@ fn f_order_parallel_matches_oracle() {
             let recorded = RecordingHooks::finish(Arc::new(rec));
             let want = oracle_racy_addrs(&recorded);
             let got = det.report().racy_addrs;
-            assert_eq!(got, want, "f-order workers={workers} round={round}\nprogram: {prog:?}");
+            assert_eq!(
+                got, want,
+                "f-order workers={workers} round={round}\nprogram: {prog:?}"
+            );
         }
     }
 }

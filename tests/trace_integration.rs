@@ -58,7 +58,9 @@ fn parallel_trace_offline_matches_online() {
     }
 
     // Online detection.
-    let w = Racy { data: ShadowArray::new(8) };
+    let w = Racy {
+        data: ShadowArray::new(8),
+    };
     let online = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2));
     let online_addrs = online.report.unwrap().racy_addrs;
     assert_eq!(online_addrs.len(), 4);
@@ -66,7 +68,9 @@ fn parallel_trace_offline_matches_online() {
     // Offline: record (parallel), serialize, parse, analyze.
     let hooks = Arc::new(RecordingHooks::new());
     let rt: Runtime<RecordingHooks> = Runtime::new(2);
-    let w2 = Racy { data: ShadowArray::new(8) };
+    let w2 = Racy {
+        data: ShadowArray::new(8),
+    };
     rt.run(Arc::clone(&hooks), |ctx| w2.run(ctx));
     drop(rt);
     let prog = RecordingHooks::finish(hooks);
@@ -74,9 +78,12 @@ fn parallel_trace_offline_matches_online() {
     let offline_addrs: std::collections::BTreeSet<u64> =
         back.races().iter().map(|r| r.addr).collect();
     // Addresses differ between the two instances; compare *indices*.
-    let online_idx: Vec<usize> = (0..8).filter(|&i| online_addrs.contains(&w.data.addr(i))).collect();
-    let offline_idx: Vec<usize> =
-        (0..8).filter(|&i| offline_addrs.contains(&w2.data.addr(i))).collect();
+    let online_idx: Vec<usize> = (0..8)
+        .filter(|&i| online_addrs.contains(&w.data.addr(i)))
+        .collect();
+    let offline_idx: Vec<usize> = (0..8)
+        .filter(|&i| offline_addrs.contains(&w2.data.addr(i)))
+        .collect();
     assert_eq!(online_idx, offline_idx);
     assert_eq!(offline_idx, vec![4, 5, 6, 7]);
 }

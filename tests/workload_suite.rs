@@ -26,7 +26,10 @@ fn suite_race_free_and_counts_agree() {
         }
         // MultiBags (sequential).
         let w = make_bench(name, Scale::Small, 7);
-        let out = drive(&w, DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1));
+        let out = drive(
+            &w,
+            DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1),
+        );
         assert!(w.verify_ok(), "{name} multibags");
         let rep = out.report.unwrap();
         assert_eq!(rep.total_races, 0, "{name} multibags");
@@ -82,9 +85,11 @@ impl RacyMm {
                 let mut acc = self.c.read(ctx, i, j);
                 for k in 0..h {
                     acc = acc.wrapping_add(
-                        self.a
-                            .read(ctx, i, half_a + k)
-                            .wrapping_mul(self.b.read(ctx, half_b + k, j)),
+                        self.a.read(ctx, i, half_a + k).wrapping_mul(self.b.read(
+                            ctx,
+                            half_b + k,
+                            j,
+                        )),
                     );
                 }
                 self.c.write(ctx, i, j, acc);
@@ -105,9 +110,17 @@ impl Workload for RacyMm {
 
 #[test]
 fn racy_mm_detected_by_all() {
-    for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
+    for kind in [
+        DetectorKind::SfOrder,
+        DetectorKind::FOrder,
+        DetectorKind::MultiBags,
+    ] {
         let w = RacyMm::new(8);
-        let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+        let workers = if kind == DetectorKind::MultiBags {
+            1
+        } else {
+            2
+        };
         let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
         let rep = out.report.unwrap();
         assert!(rep.total_races > 0, "{kind:?} missed the mm phase race");
@@ -140,9 +153,19 @@ impl Workload for HalfSynced {
 
 #[test]
 fn half_synced_future_read_detected() {
-    for kind in [DetectorKind::SfOrder, DetectorKind::FOrder, DetectorKind::MultiBags] {
-        let w = HalfSynced { data: sfrd::core::ShadowArray::new(1) };
-        let workers = if kind == DetectorKind::MultiBags { 1 } else { 2 };
+    for kind in [
+        DetectorKind::SfOrder,
+        DetectorKind::FOrder,
+        DetectorKind::MultiBags,
+    ] {
+        let w = HalfSynced {
+            data: sfrd::core::ShadowArray::new(1),
+        };
+        let workers = if kind == DetectorKind::MultiBags {
+            1
+        } else {
+            2
+        };
         let out = drive(&w, DriveConfig::with(kind, Mode::Full, workers));
         let rep = out.report.unwrap();
         assert!(rep.total_races > 0, "{kind:?} missed the unordered read");
@@ -178,7 +201,9 @@ fn wsp_rejects_futures() {
 #[test]
 fn racy_program_detected_across_many_schedules() {
     for round in 0..25 {
-        let w = HalfSynced { data: sfrd::core::ShadowArray::new(1) };
+        let w = HalfSynced {
+            data: sfrd::core::ShadowArray::new(1),
+        };
         let out = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 3));
         assert!(out.report.unwrap().total_races > 0, "round {round}");
     }

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion` (see vendor/README.md).
+//!
+//! A timing-only micro-benchmark harness exposing the API shape the
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`]). No statistics, plots or baselines — each
+//! benchmark reports min/mean over its samples to stdout. Honors
+//! `--bench` (ignored) and a substring filter argument like the real
+//! binary protocol, so `cargo bench -- <filter>` works.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample wall times.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up run outside measurement.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` with a fresh `setup` product per sample.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let min = times.iter().min().unwrap();
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    println!("{id:<48} min {min:>12.3?}   mean {mean:>12.3?}   samples {}", times.len());
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        label: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{label}", self.name);
+        self.criterion.run_one(&id, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // cargo itself adds `--bench`. Anything else flag-shaped is
+        // ignored for compatibility.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Self { filter, default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Compatibility hook; returns self unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one(&mut self, id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(flt) = &self.filter {
+            if !id.contains(flt.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { samples, times: Vec::new() };
+        f(&mut b);
+        report(id, &b.times);
+    }
+
+    /// Run one top-level benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(id, samples, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+}
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function list (compatibility macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the bench `main` (compatibility macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion { filter: None, default_samples: 3 };
+        let mut runs = 0usize;
+        c.bench_function("t/one", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion { filter: None, default_samples: 2 };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion { filter: Some("nope".into()), default_samples: 2 };
+        let mut runs = 0usize;
+        c.bench_function("t/skipped", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+}

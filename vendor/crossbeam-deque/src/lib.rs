@@ -1,0 +1,190 @@
+//! Offline stand-in for `crossbeam-deque` (see vendor/README.md).
+//!
+//! Mutex-backed work-stealing deques with the same API shape: a
+//! [`Worker`] end (owner pushes/pops LIFO), [`Stealer`] handles (steal
+//! FIFO from the cold end), and a shared [`Injector`] queue. Lock-free
+//! performance is *not* reproduced — correctness and API compatibility
+//! are; the scheduler built on top treats contention as rare.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// A race was lost; retrying may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn locked<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The owner end of a work-stealing deque.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// New LIFO deque (owner pops what it most recently pushed).
+    pub fn new_lifo() -> Self {
+        Self { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// New FIFO deque.
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Push a task onto the owner end.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pop a task from the owner end (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    /// Is the deque empty?
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+
+    /// A stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A thief's handle to some worker's deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the cold (FIFO) end.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// A shared FIFO injection queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Self {
+        Self { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push a task onto the queue.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch of tasks into `dest`, returning one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.queue);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Move up to half the remainder (capped) to the destination deque,
+        // preserving FIFO order, like the real implementation.
+        let extra = (q.len() / 2).min(16);
+        if extra > 0 {
+            let mut dq = locked(&dest.queue);
+            for _ in 0..extra {
+                if let Some(t) = q.pop_front() {
+                    dq.push_back(t);
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Some of the remainder moved over, FIFO order preserved.
+        let mut drained = vec![];
+        while let Some(v) = w.pop() {
+            drained.push(v);
+        }
+        assert!(!drained.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for `crossbeam-utils` (see vendor/README.md).
+
+/// Atomic cells for `Copy` data.
+pub mod atomic {
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// A lock-based atomic cell for `Copy` types.
+    ///
+    /// The real `AtomicCell` uses native atomics for small types and a
+    /// global spinlock table otherwise; this stand-in uses one inline
+    /// spinlock per cell, which preserves the property the workspace
+    /// relies on: racy *program-level* accesses stay data-race-free at
+    /// the Rust/LLVM level.
+    #[derive(Debug, Default)]
+    pub struct AtomicCell<T> {
+        busy: AtomicBool,
+        value: UnsafeCell<T>,
+    }
+
+    // SAFETY: all access to `value` is serialized through the `busy`
+    // spinlock, so the cell is as thread-safe as a Mutex<T>.
+    unsafe impl<T: Send> Send for AtomicCell<T> {}
+    unsafe impl<T: Send> Sync for AtomicCell<T> {}
+
+    impl<T> AtomicCell<T> {
+        /// Create a cell holding `value`.
+        pub const fn new(value: T) -> Self {
+            Self { busy: AtomicBool::new(false), value: UnsafeCell::new(value) }
+        }
+
+        #[inline]
+        fn acquire(&self) {
+            while self
+                .busy
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                std::hint::spin_loop();
+            }
+        }
+
+        #[inline]
+        fn release(&self) {
+            self.busy.store(false, Ordering::Release);
+        }
+    }
+
+    impl<T: Copy> AtomicCell<T> {
+        /// Atomically load the value.
+        #[inline]
+        pub fn load(&self) -> T {
+            self.acquire();
+            // SAFETY: the spinlock is held.
+            let v = unsafe { *self.value.get() };
+            self.release();
+            v
+        }
+
+        /// Atomically store `value`.
+        #[inline]
+        pub fn store(&self, value: T) {
+            self.acquire();
+            // SAFETY: the spinlock is held.
+            unsafe { *self.value.get() = value };
+            self.release();
+        }
+
+        /// Atomically swap in `value`, returning the previous value.
+        #[inline]
+        pub fn swap(&self, value: T) -> T {
+            self.acquire();
+            // SAFETY: the spinlock is held.
+            let old = unsafe { std::mem::replace(&mut *self.value.get(), value) };
+            self.release();
+            old
+        }
+    }
+}
+
+/// Pads a value to a cache line to avoid false sharing.
+#[derive(Debug, Default, Clone, Copy)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value`.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::AtomicCell;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_load_store() {
+        let c = Arc::new(AtomicCell::new(0u64));
+        let mut handles = vec![];
+        for t in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    c.store(t * 1_000_000 + i);
+                    let _ = c.load();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = c.load();
+        assert!(v % 1_000_000 == 9_999);
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for `proptest` (see vendor/README.md).
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` line and
+//! single-binding `name in strategy` test signatures, [`any`],
+//! [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports the generated value via the
+//!   panic message instead of a minimized counterexample;
+//! * **deterministic seeding** — cases derive from a fixed seed mixed with
+//!   the case index, so failures reproduce exactly without a
+//!   `proptest-regressions` file (existing regression files are ignored).
+
+use rand::prelude::*;
+
+/// Configuration block accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Unused compatibility field (kept so `..Default::default()` works).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with length drawn from `range`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec<S::Value>` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Run one property test: `cfg.cases` random cases of `strategy` through
+/// `body`. Called by the [`proptest!`] expansion; panics (with the case
+/// index and debug form of the input) on the first failing case.
+pub fn run_property<S, F>(test_name: &str, cfg: &ProptestConfig, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug + Clone,
+    F: FnMut(S::Value),
+{
+    // Deterministic per-test seed: stable across runs and platforms.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cfg.cases {
+        let value = strategy.generate(&mut rng);
+        let kept = value.clone();
+        if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value))) {
+            eprintln!("proptest stand-in: {test_name} failed at case {case} with input: {kept:?}");
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+/// Property-test macro: generates `#[test]` functions that run the body
+/// over many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // With a config line. The `#[test]` attribute at each call site is
+    // captured by the `$meta` repetition and re-emitted verbatim.
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($pat:ident in $strategy:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let strategy = $strategy;
+                $crate::run_property(stringify!($name), &cfg, &strategy, |$pat| $body);
+            }
+        )*
+    };
+    // Without a config line.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($pat:ident in $strategy:expr) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($pat in $strategy) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` under a property (no early-return semantics in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The usual import bundle.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(any::<u16>(), 2..10)) {
+            prop_assert!((2..10).contains(&v.len()));
+        }
+
+        #[test]
+        fn u64_roundtrip(x in any::<u64>()) {
+            prop_assert_eq!(x, u64::from_le_bytes(x.to_le_bytes()));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface; see
+//! vendor/README.md).
+//!
+//! Implements exactly what the workspace uses: [`StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `random_range`, `random_bool` and `random`. The generator is
+//! xoshiro256++, seeded through SplitMix64 — deterministic across
+//! platforms, which is all the test suite requires (statistical quality
+//! is far beyond what seeded test-case generation needs).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ with SplitMix64 seeding.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Alias: the small RNG is the same generator here.
+pub type SmallRng = StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type that `random_range` can sample uniformly.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[low, high)`; `high > low`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`; `high >= low`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                // Debiased multiply-shift (Lemire); the retry bound is
+                // irrelevant for test-scale spans.
+                let v = rng.next_u64() as u128 % span;
+                low.wrapping_add(v as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "random_range: empty range");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                Self::sample_half_open(rng, low, high.wrapping_add(1))
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (low as i128 + v as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "random_range: empty range");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                Self::sample_half_open(rng, low, high.wrapping_add(1))
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "random_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_half_open(rng, low, f64::from_bits(high.to_bits() + 1))
+    }
+}
+
+/// Range argument to [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// A value producible by [`Rng::random`].
+pub trait StandardUniformSample {
+    /// Sample a uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty),*) => {$(
+        impl StandardUniformSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniformSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniformSample for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// User-facing random-value methods (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    #[inline]
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        f64::sample(self) < p
+    }
+
+    /// Uniform sample of a primitive type.
+    #[inline]
+    fn random<T: StandardUniformSample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The usual import bundle.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SampleUniform, SeedableRng, SmallRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.random_range(0..=5);
+            assert!(w <= 5);
+            let x: i32 = rng.random_range(-10..10);
+            assert!((-10..10).contains(&x));
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "{hits}");
+    }
+}

@@ -84,5 +84,52 @@ fn access_fast_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablation, reader_policy, gp_representation, access_fast_path);
+/// The unified pipeline's shadow-batching ablation: per-access shard
+/// locking (`batched: false`, the pre-refactor baseline) vs the batched
+/// pipeline (per-strand buffers drained with one lock per shard run,
+/// `batched: true`, the default). Reported once per workload before the
+/// timing loop: the lock-op counts, so the >=2x reduction claim is
+/// checkable from the bench log.
+fn shadow_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/shadow_batching");
+    g.sample_size(10);
+    for name in ["sw", "hw"] {
+        for (label, batched) in [("locked_per_access", false), ("sharded_batched", true)] {
+            let w = make_bench(name, Scale::Small, 1);
+            let cfg = DriveConfig {
+                batched,
+                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
+            };
+            let rep = drive(&w, cfg).report.expect("Full mode returns a report");
+            eprintln!(
+                "shadow_batching/{name}/{label}: lock_ops={} batch_flushes={} \
+                 filtered={} seqlock_hits={} races={}",
+                rep.metrics.lock_ops,
+                rep.metrics.batch_flushes,
+                rep.metrics.filtered_accesses,
+                rep.metrics.seqlock_hits,
+                rep.total_races,
+            );
+            g.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    let w = make_bench(name, Scale::Small, 1);
+                    let cfg = DriveConfig {
+                        batched,
+                        ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
+                    };
+                    black_box(drive(&w, cfg));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablation,
+    reader_policy,
+    gp_representation,
+    access_fast_path,
+    shadow_batching
+);
 criterion_main!(ablation);

@@ -1,4 +1,5 @@
-//! The three on-the-fly determinacy race detectors, as [`TaskHooks`].
+//! The three on-the-fly determinacy race detectors, as
+//! [`TaskHooks`](sfrd_runtime::TaskHooks) (via the unified [`EventSink`]).
 //!
 //! Each detector couples one reachability engine (`sfrd-reach`) with the
 //! access history (`sfrd-shadow`) and implements the standard on-the-fly
@@ -8,6 +9,10 @@
 //!   a race; retain `v` as a reader of `l`;
 //! * **write `l` by `v`**: check the last writer and every retained reader
 //!   against `v`; then `v` becomes the writer and the readers are dropped.
+//!
+//! The protocol itself lives once, in [`EventSink`](crate::events); this
+//! module provides the engine adapters — [`SfEngine`], [`FoEngine`],
+//! [`MbEngine`] — and the detector aliases over them.
 //!
 //! Configurations (Fig. 4): `Reach` maintains only the reachability
 //! structures (no access-history work at all); `Full` does everything.
@@ -20,10 +25,9 @@ use parking_lot::Mutex;
 use sfrd_reach::{
     FoReach, FoStrand, MbPos, MbReach, MbStrand, SfPos, SfReach, SfStrand, StrandPos,
 };
-use sfrd_runtime::TaskHooks;
-use sfrd_shadow::{AccessHistory, ReaderPolicy};
+use sfrd_shadow::ReaderPolicy;
 
-use crate::report::{Counters, RaceCollector, RaceKind, RaceReport};
+use crate::events::{EventSink, ReachEngine};
 
 /// Detector configuration of Fig. 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,403 +77,215 @@ impl<H: sfrd_runtime::TaskHooks> sfrd_runtime::TaskHooks for ReachOnly<H> {
     fn on_read(&self, _: &mut Self::Strand, _: u64) {}
     #[inline(always)]
     fn on_write(&self, _: &mut Self::Strand, _: u64) {}
-}
-
-macro_rules! common_report {
-    ($self:ident, $reach_bytes:expr) => {{
-        RaceReport {
-            total_races: $self.collector.total(),
-            races: $self.collector.distinct().into_iter().collect(),
-            racy_addrs: $self.collector.racy_addrs(),
-            counts: $self.counters.snapshot(),
-            reach_bytes: $reach_bytes,
-            history_bytes: $self.history.as_ref().map_or(0, |h| h.heap_bytes()),
-        }
-    }};
+    fn on_access_batch(&self, _: &mut Self::Strand, batch: &mut sfrd_runtime::AccessBatch) {
+        batch.discard();
+    }
 }
 
 // ================================================================ SF-Order
 
-/// The paper's detector: SF-Order reachability + access history.
-pub struct SfDetector {
-    reach: SfReach,
-    root: Mutex<Option<SfStrand>>,
-    history: Option<AccessHistory<SfPos>>,
-    /// Detected races.
-    pub collector: RaceCollector,
-    /// Execution counters (Fig. 3).
-    pub counters: Counters,
+/// SF-Order reachability as a pluggable engine.
+pub struct SfEngine(pub(crate) SfReach);
+
+impl SfEngine {
+    fn new() -> (Self, SfStrand) {
+        let (reach, root) = SfReach::new();
+        (Self(reach), root)
+    }
 }
+
+impl ReachEngine for SfEngine {
+    type Strand = SfStrand;
+    type Pos = SfPos;
+
+    fn spawn(&self, parent: &mut SfStrand) -> SfStrand {
+        self.0.spawn(parent)
+    }
+    fn create(&self, parent: &mut SfStrand) -> SfStrand {
+        self.0.create(parent)
+    }
+    fn sync(&self, s: &mut SfStrand, children: &[SfStrand]) {
+        self.0.sync(s, children.iter());
+    }
+    fn get(&self, s: &mut SfStrand, done: &SfStrand) {
+        self.0.get(s, done);
+    }
+    fn task_end(&self, s: &mut SfStrand) {
+        self.0.task_end(s);
+    }
+    fn pos(s: &SfStrand) -> SfPos {
+        s.pos()
+    }
+    fn future_id(s: &SfStrand) -> u32 {
+        s.future().0
+    }
+    fn precedes(&self, a: SfPos, s: &SfStrand) -> bool {
+        self.0.precedes(a, s)
+    }
+    fn eng_less(&self, a: &SfPos, b: &SfPos) -> bool {
+        self.0.sp_order().eng_precedes(a.sp, b.sp)
+    }
+    fn heb_less(&self, a: &SfPos, b: &SfPos) -> bool {
+        self.0.sp_order().heb_precedes(a.sp, b.sp)
+    }
+    fn pos_precedes(&self, a: &SfPos, b: &SfPos) -> bool {
+        self.0.sp_order().precedes_eq(a.sp, b.sp)
+    }
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes()
+    }
+    fn merges(&self) -> u64 {
+        self.0.set_stats().snapshot().2
+    }
+}
+
+/// The paper's detector: SF-Order reachability + access history.
+pub type SfDetector = EventSink<SfEngine>;
 
 impl SfDetector {
     /// Build a one-shot detector. `policy` selects the §3.5 bounded reader
     /// set or the ship-it-all variant the paper's implementation uses.
     pub fn new(mode: Mode, policy: ReaderPolicy) -> Self {
-        let (reach, root) = SfReach::new();
-        Self {
-            reach,
-            root: Mutex::new(Some(root)),
-            history: matches!(mode, Mode::Full).then(|| AccessHistory::with_policy(policy)),
-            collector: RaceCollector::default(),
-            counters: Counters::default(),
-        }
-    }
-
-    /// The report after (or during) a run.
-    pub fn report(&self) -> RaceReport {
-        common_report!(self, self.reach.heap_bytes())
+        EventSink::build(SfEngine::new(), mode, policy)
     }
 
     /// Reachability engine (diagnostics).
     pub fn reach(&self) -> &SfReach {
-        &self.reach
-    }
-
-    /// Access history (diagnostics; `None` in reach mode).
-    pub fn history(&self) -> Option<&AccessHistory<SfPos>> {
-        self.history.as_ref()
-    }
-}
-
-impl TaskHooks for SfDetector {
-    type Strand = SfStrand;
-
-    fn root(&self) -> SfStrand {
-        self.root
-            .lock()
-            .take()
-            .expect("SfDetector is one-shot: root strand already taken")
-    }
-
-    fn on_spawn(&self, parent: &mut SfStrand) -> SfStrand {
-        Counters::bump(&self.counters.spawns);
-        self.reach.spawn(parent)
-    }
-
-    fn on_create(&self, parent: &mut SfStrand) -> SfStrand {
-        Counters::bump(&self.counters.creates);
-        self.reach.create(parent)
-    }
-
-    fn on_sync(&self, s: &mut SfStrand, children: Vec<SfStrand>) {
-        Counters::bump(&self.counters.syncs);
-        self.reach.sync(s, children.iter());
-    }
-
-    fn on_get(&self, s: &mut SfStrand, done: &SfStrand) {
-        Counters::bump(&self.counters.gets);
-        self.reach.get(s, done);
-    }
-
-    fn on_task_end(&self, s: &mut SfStrand) {
-        self.reach.task_end(s);
-    }
-
-    #[inline]
-    fn on_read(&self, s: &mut SfStrand, addr: u64) {
-        let Some(history) = &self.history else { return };
-        Counters::bump(&self.counters.reads);
-        let pos = s.pos();
-        let sp = self.reach.sp_order();
-        history.locked(addr, |e| {
-            // Same-strand fast path: an accessor at the current position is
-            // trivially serial; no reachability query needed.
-            if let Some(w) = e.writer {
-                if w != pos {
-                    Counters::bump(&self.counters.queries);
-                    if !self.reach.precedes(w, s) {
-                        self.collector.report(addr, RaceKind::WriteRead);
-                    }
-                }
-            }
-            e.readers.record(
-                s.future().0,
-                pos,
-                |a, b| sp.eng_precedes(a.sp, b.sp),
-                |a, b| sp.heb_precedes(a.sp, b.sp),
-                |a, b| sp.precedes_eq(a.sp, b.sp),
-            );
-        });
-    }
-
-    #[inline]
-    fn on_write(&self, s: &mut SfStrand, addr: u64) {
-        let Some(history) = &self.history else { return };
-        Counters::bump(&self.counters.writes);
-        let pos = s.pos();
-        history.locked(addr, |e| {
-            if let Some(w) = e.writer {
-                if w != pos {
-                    Counters::bump(&self.counters.queries);
-                    if !self.reach.precedes(w, s) {
-                        self.collector.report(addr, RaceKind::WriteWrite);
-                    }
-                }
-            }
-            let mut reader_queries = 0;
-            e.readers.for_each(|r| {
-                if r == pos {
-                    return;
-                }
-                reader_queries += 1;
-                if !self.reach.precedes(r, s) {
-                    self.collector.report(addr, RaceKind::ReadWrite);
-                }
-            });
-            Counters::add(&self.counters.queries, reader_queries);
-            e.begin_write_epoch(pos);
-        });
+        &self.engine.0
     }
 }
 
 // ================================================================= F-Order
 
+/// F-Order reachability as a pluggable engine.
+pub struct FoEngine(pub(crate) FoReach);
+
+impl FoEngine {
+    fn new() -> (Self, FoStrand) {
+        let (reach, root) = FoReach::new();
+        (Self(reach), root)
+    }
+}
+
+impl ReachEngine for FoEngine {
+    type Strand = FoStrand;
+    type Pos = StrandPos;
+
+    fn spawn(&self, parent: &mut FoStrand) -> FoStrand {
+        self.0.spawn(parent)
+    }
+    fn create(&self, parent: &mut FoStrand) -> FoStrand {
+        self.0.create(parent)
+    }
+    fn sync(&self, s: &mut FoStrand, children: &[FoStrand]) {
+        self.0.sync(s, children.iter());
+    }
+    fn get(&self, s: &mut FoStrand, done: &FoStrand) {
+        self.0.get(s, done);
+    }
+    fn task_end(&self, s: &mut FoStrand) {
+        self.0.task_end(s);
+    }
+    fn pos(s: &FoStrand) -> StrandPos {
+        s.pos()
+    }
+    fn future_id(s: &FoStrand) -> u32 {
+        s.future().0
+    }
+    fn precedes(&self, a: StrandPos, s: &FoStrand) -> bool {
+        self.0.precedes(a, s)
+    }
+    // F-Order cannot bound readers: the LR comparators stay at the
+    // constant-false defaults (policy is always `All`).
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes()
+    }
+    fn merges(&self) -> u64 {
+        self.0.set_stats().snapshot().2
+    }
+}
+
 /// The general-futures baseline detector: F-Order reachability + all-reader
 /// access history.
-pub struct FoDetector {
-    reach: FoReach,
-    root: Mutex<Option<FoStrand>>,
-    history: Option<AccessHistory<StrandPos>>,
-    /// Detected races.
-    pub collector: RaceCollector,
-    /// Execution counters.
-    pub counters: Counters,
-}
+pub type FoDetector = EventSink<FoEngine>;
 
 impl FoDetector {
     /// Build a one-shot detector. F-Order cannot bound readers, so the
     /// policy is always [`ReaderPolicy::All`].
     pub fn new(mode: Mode) -> Self {
-        let (reach, root) = FoReach::new();
-        Self {
-            reach,
-            root: Mutex::new(Some(root)),
-            history: matches!(mode, Mode::Full)
-                .then(|| AccessHistory::with_policy(ReaderPolicy::All)),
-            collector: RaceCollector::default(),
-            counters: Counters::default(),
-        }
-    }
-
-    /// The report after (or during) a run.
-    pub fn report(&self) -> RaceReport {
-        common_report!(self, self.reach.heap_bytes())
+        EventSink::build(FoEngine::new(), mode, ReaderPolicy::All)
     }
 
     /// Reachability engine (diagnostics).
     pub fn reach(&self) -> &FoReach {
-        &self.reach
-    }
-}
-
-impl TaskHooks for FoDetector {
-    type Strand = FoStrand;
-
-    fn root(&self) -> FoStrand {
-        self.root
-            .lock()
-            .take()
-            .expect("FoDetector is one-shot: root strand already taken")
-    }
-
-    fn on_spawn(&self, parent: &mut FoStrand) -> FoStrand {
-        Counters::bump(&self.counters.spawns);
-        self.reach.spawn(parent)
-    }
-
-    fn on_create(&self, parent: &mut FoStrand) -> FoStrand {
-        Counters::bump(&self.counters.creates);
-        self.reach.create(parent)
-    }
-
-    fn on_sync(&self, s: &mut FoStrand, children: Vec<FoStrand>) {
-        Counters::bump(&self.counters.syncs);
-        self.reach.sync(s, children.iter());
-    }
-
-    fn on_get(&self, s: &mut FoStrand, done: &FoStrand) {
-        Counters::bump(&self.counters.gets);
-        self.reach.get(s, done);
-    }
-
-    fn on_task_end(&self, s: &mut FoStrand) {
-        self.reach.task_end(s);
-    }
-
-    #[inline]
-    fn on_read(&self, s: &mut FoStrand, addr: u64) {
-        let Some(history) = &self.history else { return };
-        Counters::bump(&self.counters.reads);
-        let pos = s.pos();
-        history.locked(addr, |e| {
-            if let Some(w) = e.writer {
-                if w != pos {
-                    Counters::bump(&self.counters.queries);
-                    if !self.reach.precedes(w, s) {
-                        self.collector.report(addr, RaceKind::WriteRead);
-                    }
-                }
-            }
-            // All-readers policy: comparators are never consulted.
-            e.readers
-                .record(s.future().0, pos, |_, _| false, |_, _| false, |_, _| false);
-        });
-    }
-
-    #[inline]
-    fn on_write(&self, s: &mut FoStrand, addr: u64) {
-        let Some(history) = &self.history else { return };
-        Counters::bump(&self.counters.writes);
-        let pos = s.pos();
-        history.locked(addr, |e| {
-            if let Some(w) = e.writer {
-                if w != pos {
-                    Counters::bump(&self.counters.queries);
-                    if !self.reach.precedes(w, s) {
-                        self.collector.report(addr, RaceKind::WriteWrite);
-                    }
-                }
-            }
-            let mut reader_queries = 0;
-            e.readers.for_each(|r| {
-                if r == pos {
-                    return;
-                }
-                reader_queries += 1;
-                if !self.reach.precedes(r, s) {
-                    self.collector.report(addr, RaceKind::ReadWrite);
-                }
-            });
-            Counters::add(&self.counters.queries, reader_queries);
-            e.begin_write_epoch(pos);
-        });
+        &self.engine.0
     }
 }
 
 // =============================================================== MultiBags
 
-/// The sequential baseline detector: SP-bags union-find reachability.
+/// MultiBags (SP-bags union-find) reachability as a pluggable engine.
 /// Must run under the sequential runtime (`run_sequential`); the engine is
-/// behind a mutex only to satisfy the hooks interface — it is never
+/// behind a mutex only to satisfy the `&self` interface — it is never
 /// contended.
-pub struct MbDetector {
-    reach: Mutex<MbReach>,
-    root: Mutex<Option<MbStrand>>,
-    history: Option<AccessHistory<MbPos>>,
-    /// Detected races.
-    pub collector: RaceCollector,
-    /// Execution counters.
-    pub counters: Counters,
-}
+pub struct MbEngine(pub(crate) Mutex<MbReach>);
 
-impl MbDetector {
-    /// Build a one-shot detector.
-    pub fn new(mode: Mode) -> Self {
+impl MbEngine {
+    fn new() -> (Self, MbStrand) {
         let (reach, root) = MbReach::new();
-        Self {
-            reach: Mutex::new(reach),
-            root: Mutex::new(Some(root)),
-            history: matches!(mode, Mode::Full)
-                .then(|| AccessHistory::with_policy(ReaderPolicy::All)),
-            collector: RaceCollector::default(),
-            counters: Counters::default(),
-        }
-    }
-
-    /// The report after (or during) a run.
-    pub fn report(&self) -> RaceReport {
-        common_report!(self, self.reach.lock().heap_bytes())
+        (Self(Mutex::new(reach)), root)
     }
 }
 
-impl TaskHooks for MbDetector {
+impl ReachEngine for MbEngine {
     type Strand = MbStrand;
+    type Pos = MbPos;
 
-    fn root(&self) -> MbStrand {
-        self.root
-            .lock()
-            .take()
-            .expect("MbDetector is one-shot: root strand already taken")
+    fn spawn(&self, parent: &mut MbStrand) -> MbStrand {
+        self.0.lock().spawn(parent)
     }
-
-    fn on_spawn(&self, parent: &mut MbStrand) -> MbStrand {
-        Counters::bump(&self.counters.spawns);
-        self.reach.lock().spawn(parent)
+    fn create(&self, parent: &mut MbStrand) -> MbStrand {
+        self.0.lock().create(parent)
     }
-
-    fn on_create(&self, parent: &mut MbStrand) -> MbStrand {
-        Counters::bump(&self.counters.creates);
-        self.reach.lock().create(parent)
-    }
-
-    fn on_sync(&self, s: &mut MbStrand, children: Vec<MbStrand>) {
-        Counters::bump(&self.counters.syncs);
-        let mut reach = self.reach.lock();
-        for c in &children {
+    fn sync(&self, s: &mut MbStrand, children: &[MbStrand]) {
+        let mut reach = self.0.lock();
+        for c in children {
             reach.absorb_gp(s, c.gp());
         }
         reach.sync(s);
     }
-
-    fn on_get(&self, s: &mut MbStrand, done: &MbStrand) {
-        Counters::bump(&self.counters.gets);
-        self.reach.lock().get(s, done);
+    fn get(&self, s: &mut MbStrand, done: &MbStrand) {
+        self.0.lock().get(s, done);
     }
-
-    fn on_task_end(&self, s: &mut MbStrand) {
-        self.reach.lock().task_end(s);
+    fn task_end(&self, s: &mut MbStrand) {
+        self.0.lock().task_end(s);
     }
-
-    fn on_task_return(&self, parent: &mut MbStrand, child: &mut MbStrand) {
-        self.reach.lock().task_return(parent, child);
+    fn task_return(&self, parent: &mut MbStrand, child: &mut MbStrand) {
+        self.0.lock().task_return(parent, child);
     }
-
-    #[inline]
-    fn on_read(&self, s: &mut MbStrand, addr: u64) {
-        let Some(history) = &self.history else { return };
-        Counters::bump(&self.counters.reads);
-        let pos = s.pos();
-        history.locked(addr, |e| {
-            if let Some(w) = e.writer {
-                if w != pos {
-                    Counters::bump(&self.counters.queries);
-                    if !self.reach.lock().precedes(w, s) {
-                        self.collector.report(addr, RaceKind::WriteRead);
-                    }
-                }
-            }
-            e.readers
-                .record(s.future().0, pos, |_, _| false, |_, _| false, |_, _| false);
-        });
+    fn pos(s: &MbStrand) -> MbPos {
+        s.pos()
     }
+    fn future_id(s: &MbStrand) -> u32 {
+        s.future().0
+    }
+    fn precedes(&self, a: MbPos, s: &MbStrand) -> bool {
+        self.0.lock().precedes(a, s)
+    }
+    fn heap_bytes(&self) -> usize {
+        self.0.lock().heap_bytes()
+    }
+    fn merges(&self) -> u64 {
+        self.0.lock().set_stats().snapshot().2
+    }
+}
 
-    #[inline]
-    fn on_write(&self, s: &mut MbStrand, addr: u64) {
-        let Some(history) = &self.history else { return };
-        Counters::bump(&self.counters.writes);
-        let pos = s.pos();
-        history.locked(addr, |e| {
-            if let Some(w) = e.writer {
-                if w != pos {
-                    Counters::bump(&self.counters.queries);
-                    if !self.reach.lock().precedes(w, s) {
-                        self.collector.report(addr, RaceKind::WriteWrite);
-                    }
-                }
-            }
-            let mut reach = self.reach.lock();
-            let mut reader_queries = 0;
-            e.readers.for_each(|r| {
-                if r == pos {
-                    return;
-                }
-                reader_queries += 1;
-                if !reach.precedes(r, s) {
-                    self.collector.report(addr, RaceKind::ReadWrite);
-                }
-            });
-            Counters::add(&self.counters.queries, reader_queries);
-            e.begin_write_epoch(pos);
-        });
+/// The sequential baseline detector: SP-bags union-find reachability.
+pub type MbDetector = EventSink<MbEngine>;
+
+impl MbDetector {
+    /// Build a one-shot detector.
+    pub fn new(mode: Mode) -> Self {
+        EventSink::build(MbEngine::new(), mode, ReaderPolicy::All)
     }
 }

@@ -48,6 +48,12 @@ pub struct DriveConfig {
     pub sequential: bool,
     /// Reader policy for SF-Order's access history.
     pub policy: ReaderPolicy,
+    /// Route accesses through the batched strand-event pipeline
+    /// (`Batched` + per-batch shard locking) instead of one shadow lock
+    /// per access. On by default; the unbatched path is kept as the
+    /// ablation baseline. Ignored in `Reach` mode (no access work either
+    /// way).
+    pub batched: bool,
 }
 
 impl DriveConfig {
@@ -59,6 +65,7 @@ impl DriveConfig {
             workers,
             sequential: false,
             policy: ReaderPolicy::All,
+            batched: true,
         }
     }
 
@@ -71,6 +78,7 @@ impl DriveConfig {
             workers,
             sequential: matches!(detector, DetectorKind::MultiBags),
             policy: ReaderPolicy::All,
+            batched: true,
         }
     }
 }
@@ -109,6 +117,22 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
     macro_rules! detector_arm {
         ($make:expr) => {{
             match cfg.mode {
+                // The batched pipeline: accesses buffer per strand and
+                // flush through the detector's bulk hook (one shadow-shard
+                // lock per touched shard).
+                Mode::Full if cfg.batched => {
+                    let det = Arc::new(sfrd_runtime::Batched::new($make(Mode::Full)));
+                    let wall = timed(w, Arc::clone(&det), &cfg);
+                    let mut report = det.inner().report();
+                    let bs = det.stats();
+                    report.metrics.batch_flushes = bs.flushes;
+                    report.metrics.batched_accesses = bs.recorded;
+                    report.metrics.filtered_accesses = bs.filtered;
+                    Outcome {
+                        wall,
+                        report: Some(report),
+                    }
+                }
                 Mode::Full => {
                     let det = Arc::new($make(Mode::Full));
                     let wall = timed(w, Arc::clone(&det), &cfg);

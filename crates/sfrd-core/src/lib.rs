@@ -43,22 +43,26 @@
 
 pub mod detectors;
 pub mod driver;
+pub mod events;
 pub mod fastpath;
 pub mod recording;
 pub mod report;
 pub mod shared;
 pub mod wsp;
 
-pub use detectors::{FoDetector, MbDetector, Mode, ReachOnly, SfDetector};
+pub use detectors::{
+    FoDetector, FoEngine, MbDetector, MbEngine, Mode, ReachOnly, SfDetector, SfEngine,
+};
 pub use driver::{drive, DetectorKind, DriveConfig, Outcome, Workload};
+pub use events::{EventSink, ReachEngine};
 pub use fastpath::{FastPath, FpStrand};
 pub use recording::{GenWorkload, RecordingHooks};
-pub use report::{CountsSnapshot, Race, RaceCollector, RaceKind, RaceReport};
+pub use report::{CountsSnapshot, MetricsSnapshot, Race, RaceCollector, RaceKind, RaceReport};
 pub use shared::{ShadowArray, ShadowCell, ShadowMatrix};
-pub use wsp::{WspDetector, WspStrand};
+pub use wsp::{WspDetector, WspEngine, WspStrand};
 
 // Re-exports so downstream users need only this crate.
-pub use sfrd_runtime::{Cx, FutureHandle, NullHooks, Runtime, TaskHooks};
+pub use sfrd_runtime::{BatchStats, Batched, Cx, FutureHandle, NullHooks, Runtime, TaskHooks};
 pub use sfrd_shadow::ReaderPolicy;
 
 /// A detector strand — alias used in the facade prelude.

@@ -135,6 +135,42 @@ impl CountsSnapshot {
     }
 }
 
+/// Pipeline/synchronization metrics of one detector run — the
+/// observability half of the unified strand-event pipeline. Shadow-side
+/// counters (`lock_ops`, `seqlock_hits`, `bitmap_merges`) are filled by
+/// the detector; batch-side counters (`batch_flushes`,
+/// `batched_accesses`, `filtered_accesses`) live in the
+/// `Batched` runtime wrapper and are merged in by
+/// [`drive`](crate::drive).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Shadow shard-lock acquisitions (one per access unbatched; one per
+    /// flush × touched shard batched).
+    pub lock_ops: u64,
+    /// Batch flushes (boundary + size-cap).
+    pub batch_flushes: u64,
+    /// Accesses admitted into batches (post write-combining).
+    pub batched_accesses: u64,
+    /// Accesses write-combined away by the per-position filter.
+    pub filtered_accesses: u64,
+    /// Reachability queries skipped by the writer-epoch verdict cache.
+    pub seqlock_hits: u64,
+    /// Reachability-side bitmap/set merges.
+    pub bitmap_merges: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of raw accesses absorbed by the write-combining filter.
+    pub fn filter_hit_rate(&self) -> f64 {
+        let total = self.batched_accesses + self.filtered_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.filtered_accesses as f64 / total as f64
+        }
+    }
+}
+
 /// Everything a detector run produces.
 #[derive(Debug, Clone)]
 pub struct RaceReport {
@@ -150,6 +186,8 @@ pub struct RaceReport {
     pub reach_bytes: usize,
     /// Access-history heap bytes.
     pub history_bytes: usize,
+    /// Pipeline/synchronization metrics.
+    pub metrics: MetricsSnapshot,
 }
 
 #[cfg(test)]

@@ -8,156 +8,96 @@
 //! asymptotically-optimal `O(T1/P + T∞)` baseline (Utterback et al.,
 //! SPAA '16) and serves as the ablation point for "what does structured-
 //! futures support cost SF-Order": identical machinery minus the future
-//! bookkeeping.
+//! bookkeeping. Like the other three detectors it is an
+//! [`EventSink`](crate::events::EventSink) alias — the detection protocol
+//! is shared; only the engine differs.
 //!
 //! Using futures under this detector is a programming error and panics.
 
-use parking_lot::Mutex;
-
 use sfrd_reach::{SpOrder, SpPos, SpTask};
-use sfrd_runtime::TaskHooks;
-use sfrd_shadow::{AccessHistory, ReaderPolicy};
+use sfrd_shadow::ReaderPolicy;
 
 use crate::detectors::Mode;
-use crate::report::{Counters, RaceCollector, RaceKind, RaceReport};
+use crate::events::{EventSink, ReachEngine};
 
 /// Per-task WSP-Order state.
 pub struct WspStrand {
     sp: SpTask,
 }
 
-/// The fork-join-only detector.
-pub struct WspDetector {
-    sp: SpOrder,
-    root: Mutex<Option<SpTask>>,
-    history: Option<AccessHistory<SpPos>>,
-    /// Detected races.
-    pub collector: RaceCollector,
-    /// Execution counters.
-    pub counters: Counters,
+/// SP-order reachability (fork-join only) as a pluggable engine.
+pub struct WspEngine(pub(crate) SpOrder);
+
+impl WspEngine {
+    fn new() -> (Self, WspStrand) {
+        let (sp, root) = SpOrder::new();
+        (Self(sp), WspStrand { sp: root })
+    }
 }
+
+impl ReachEngine for WspEngine {
+    type Strand = WspStrand;
+    type Pos = SpPos;
+
+    fn spawn(&self, parent: &mut WspStrand) -> WspStrand {
+        WspStrand {
+            sp: self.0.fork(&mut parent.sp),
+        }
+    }
+    fn create(&self, _parent: &mut WspStrand) -> WspStrand {
+        panic!(
+            "WSP-Order handles fork-join parallelism only; this program uses futures — \
+             run it under SF-Order instead"
+        );
+    }
+    fn sync(&self, s: &mut WspStrand, _children: &[WspStrand]) {
+        self.0.sync(&mut s.sp);
+    }
+    fn get(&self, _s: &mut WspStrand, _done: &WspStrand) {
+        unreachable!("no create, hence no get");
+    }
+    fn task_end(&self, s: &mut WspStrand) {
+        self.0.sync(&mut s.sp);
+    }
+    fn pos(s: &WspStrand) -> SpPos {
+        s.sp.pos()
+    }
+    fn future_id(_s: &WspStrand) -> u32 {
+        0 // the whole SP-dag is one "future"
+    }
+    fn precedes(&self, a: SpPos, s: &WspStrand) -> bool {
+        self.0.precedes_eq(a, s.sp.pos())
+    }
+    fn eng_less(&self, a: &SpPos, b: &SpPos) -> bool {
+        self.0.eng_precedes(*a, *b)
+    }
+    fn heb_less(&self, a: &SpPos, b: &SpPos) -> bool {
+        self.0.heb_precedes(*a, *b)
+    }
+    fn pos_precedes(&self, a: &SpPos, b: &SpPos) -> bool {
+        self.0.precedes_eq(*a, *b)
+    }
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes()
+    }
+}
+
+/// The fork-join-only detector.
+pub type WspDetector = EventSink<WspEngine>;
 
 impl WspDetector {
     /// Build a one-shot detector. The classic WSP-Order access history is
     /// the leftmost/rightmost pair — [`ReaderPolicy::PerFutureLR`] with a
     /// single "future" (the whole SP-dag) degenerates to exactly that.
     pub fn new(mode: Mode, policy: ReaderPolicy) -> Self {
-        let (sp, root) = SpOrder::new();
-        Self {
-            sp,
-            root: Mutex::new(Some(root)),
-            history: matches!(mode, Mode::Full).then(|| AccessHistory::with_policy(policy)),
-            collector: RaceCollector::default(),
-            counters: Counters::default(),
-        }
-    }
-
-    /// The report after (or during) a run.
-    pub fn report(&self) -> RaceReport {
-        RaceReport {
-            total_races: self.collector.total(),
-            races: self.collector.distinct().into_iter().collect(),
-            racy_addrs: self.collector.racy_addrs(),
-            counts: self.counters.snapshot(),
-            reach_bytes: self.sp.heap_bytes(),
-            history_bytes: self.history.as_ref().map_or(0, |h| h.heap_bytes()),
-        }
-    }
-}
-
-impl TaskHooks for WspDetector {
-    type Strand = WspStrand;
-
-    fn root(&self) -> WspStrand {
-        WspStrand {
-            sp: self.root.lock().take().expect("WspDetector is one-shot"),
-        }
-    }
-
-    fn on_spawn(&self, parent: &mut WspStrand) -> WspStrand {
-        Counters::bump(&self.counters.spawns);
-        WspStrand {
-            sp: self.sp.fork(&mut parent.sp),
-        }
-    }
-
-    fn on_create(&self, _parent: &mut WspStrand) -> WspStrand {
-        panic!(
-            "WSP-Order handles fork-join parallelism only; this program uses futures — \
-             run it under SF-Order instead"
-        );
-    }
-
-    fn on_sync(&self, s: &mut WspStrand, _children: Vec<WspStrand>) {
-        Counters::bump(&self.counters.syncs);
-        self.sp.sync(&mut s.sp);
-    }
-
-    fn on_get(&self, _s: &mut WspStrand, _done: &WspStrand) {
-        unreachable!("no create, hence no get");
-    }
-
-    fn on_task_end(&self, s: &mut WspStrand) {
-        self.sp.sync(&mut s.sp);
-    }
-
-    #[inline]
-    fn on_read(&self, s: &mut WspStrand, addr: u64) {
-        let Some(history) = &self.history else { return };
-        Counters::bump(&self.counters.reads);
-        let pos = s.sp.pos();
-        history.locked(addr, |e| {
-            if let Some(w) = e.writer {
-                if w != pos {
-                    Counters::bump(&self.counters.queries);
-                    if !self.sp.precedes_eq(w, pos) {
-                        self.collector.report(addr, RaceKind::WriteRead);
-                    }
-                }
-            }
-            e.readers.record(
-                0, // the whole SP-dag is one "future"
-                pos,
-                |a, b| self.sp.eng_precedes(*a, *b),
-                |a, b| self.sp.heb_precedes(*a, *b),
-                |a, b| self.sp.precedes_eq(*a, *b),
-            );
-        });
-    }
-
-    #[inline]
-    fn on_write(&self, s: &mut WspStrand, addr: u64) {
-        let Some(history) = &self.history else { return };
-        Counters::bump(&self.counters.writes);
-        let pos = s.sp.pos();
-        history.locked(addr, |e| {
-            if let Some(w) = e.writer {
-                if w != pos {
-                    Counters::bump(&self.counters.queries);
-                    if !self.sp.precedes_eq(w, pos) {
-                        self.collector.report(addr, RaceKind::WriteWrite);
-                    }
-                }
-            }
-            let mut reader_queries = 0;
-            e.readers.for_each(|r| {
-                if r == pos {
-                    return;
-                }
-                reader_queries += 1;
-                if !self.sp.precedes_eq(r, pos) {
-                    self.collector.report(addr, RaceKind::ReadWrite);
-                }
-            });
-            Counters::add(&self.counters.queries, reader_queries);
-            e.begin_write_epoch(pos);
-        });
+        EventSink::build(WspEngine::new(), mode, policy)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::RaceReport;
     use sfrd_runtime::{Cx, Runtime};
     use std::sync::Arc;
 

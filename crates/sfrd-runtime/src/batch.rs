@@ -1,0 +1,527 @@
+//! The strand-event batch pipeline: per-strand access buffering.
+//!
+//! §4 of the paper measures that the dominant `full`-configuration cost is
+//! the per-access synchronization on the shadow table — one lock
+//! acquisition per instrumented read/write. The batch pipeline attacks
+//! that volume from the runtime side: instead of handing every access to
+//! the detector immediately, [`Batched`] accumulates a strand's accesses
+//! in a per-strand [`AccessBatch`] and flushes them to the detector's
+//! [`TaskHooks::on_access_batch`] hook in one call
+//!
+//! * at every **strand boundary** (`spawn`/`create`/`sync`/`get`/task
+//!   end/task return) — the dag position is about to change, so pending
+//!   accesses must be checked at the position they were issued from; and
+//! * at a **size cap**, so an access-heavy strand cannot defer unbounded
+//!   work.
+//!
+//! Soundness is the same argument as the older per-access
+//! `sfrd-core::fastpath` filter, generalized: all accesses in a batch were
+//! issued at one dag position (the filter and the flush points guarantee
+//! it), so flushing them together is just executing the same accesses
+//! under an adjacent legal schedule of the same dag — and determinacy
+//! races are a property of the dag, not of the schedule.
+//!
+//! Within a batch the buffer **write-combines**: a repeat access to an
+//! address already buffered (or already flushed at this position) with the
+//! same or weaker kind is dropped — it could neither change the access
+//! history nor produce a new race, exactly the fast-path invariant. A read
+//! followed by a first write to the same address keeps both entries in
+//! program order.
+//!
+//! The batch also carries the strand's [`VerdictCache`] — the
+//! seqlock-style writer-epoch cache the detector's flush path uses to skip
+//! redundant reachability queries (see `sfrd-shadow` docs). It lives here
+//! because it is per-strand state with the same lifetime as the buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hooks::TaskHooks;
+
+/// One buffered shared-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchedAccess {
+    /// Accessed address.
+    pub addr: u64,
+    /// Write (`true`) or read (`false`).
+    pub is_write: bool,
+}
+
+/// Dedup-filter ways (direct-mapped, power of two). Same geometry as the
+/// original fastpath filter.
+const FILTER_WAYS: usize = 256;
+
+/// Verdict-cache ways (direct-mapped, power of two).
+const VERDICT_WAYS: usize = 256;
+
+/// Default flush threshold for [`Batched`].
+pub const DEFAULT_BATCH_CAP: usize = 512;
+
+#[inline]
+fn way(addr: u64, ways: usize) -> usize {
+    // Mix, then mask: shadow addresses share high bits.
+    (addr.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as usize & (ways - 1)
+}
+
+/// Per-strand cache of *serial* writer verdicts, validated by writer
+/// epoch.
+///
+/// A slot `(addr, seq)` records: "at some earlier position of this strand,
+/// the writer of `addr` whose epoch was `seq` was found to serially
+/// precede the strand". A strand's successive positions are totally
+/// ordered in the dag (program order), so by transitivity the same writer
+/// still precedes every later position of this strand — as long as the
+/// entry's writer (identified by its epoch counter) has not changed, the
+/// reachability query can be skipped. The cache is deliberately never
+/// cleared: invalidation is purely by epoch mismatch, like a seqlock
+/// read-side validating against the writer sequence.
+#[derive(Debug)]
+pub struct VerdictCache {
+    /// `(addr + 1, writer_seq)` per slot; key 0 = empty.
+    slots: Box<[(u64, u64); VERDICT_WAYS]>,
+    hits: u64,
+}
+
+impl VerdictCache {
+    fn new() -> Self {
+        Self {
+            slots: Box::new([(0, 0); VERDICT_WAYS]),
+            hits: 0,
+        }
+    }
+
+    /// Is a serial verdict for `addr` under writer epoch `seq` cached?
+    #[inline]
+    pub fn check(&mut self, addr: u64, seq: u64) -> bool {
+        let hit = self.slots[way(addr, VERDICT_WAYS)] == (addr.wrapping_add(1), seq);
+        self.hits += hit as u64;
+        hit
+    }
+
+    /// Record a serial verdict for `addr` under writer epoch `seq`.
+    #[inline]
+    pub fn store(&mut self, addr: u64, seq: u64) {
+        self.slots[way(addr, VERDICT_WAYS)] = (addr.wrapping_add(1), seq);
+    }
+
+    /// Cache hits so far (reachability queries skipped).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// A strand's access buffer plus its flush-path caches.
+#[derive(Debug)]
+pub struct AccessBatch {
+    entries: Vec<BatchedAccess>,
+    /// `(addr + 1, wrote)` per slot; key 0 = empty. Valid for the current
+    /// dag position only — cleared at strand boundaries, *not* at size-cap
+    /// flushes (the position is unchanged, so already-flushed accesses
+    /// still cover repeats).
+    filter: Box<[(u64, bool); FILTER_WAYS]>,
+    verdicts: VerdictCache,
+    recorded: u64,
+    filtered: u64,
+    /// Filtered accesses per kind since the last flush, so a batch-aware
+    /// sink can keep program-characteristic counters (Fig. 3 reads/writes)
+    /// exact even though filtered repeats never reach it as entries.
+    pending_filtered: (u64, u64),
+}
+
+impl AccessBatch {
+    /// Empty batch with capacity for `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(cap),
+            filter: Box::new([(0, false); FILTER_WAYS]),
+            verdicts: VerdictCache::new(),
+            recorded: 0,
+            filtered: 0,
+            pending_filtered: (0, 0),
+        }
+    }
+
+    /// Buffer one access. Returns `false` when the access was
+    /// write-combined away (a repeat at this position with the same or
+    /// weaker kind).
+    #[inline]
+    pub fn record(&mut self, addr: u64, is_write: bool) -> bool {
+        let key = addr.wrapping_add(1);
+        let slot = &mut self.filter[way(addr, FILTER_WAYS)];
+        if slot.0 == key && (slot.1 || !is_write) {
+            self.filtered += 1;
+            if is_write {
+                self.pending_filtered.1 += 1;
+            } else {
+                self.pending_filtered.0 += 1;
+            }
+            return false;
+        }
+        *slot = (key, slot.1 || is_write);
+        self.recorded += 1;
+        self.entries.push(BatchedAccess { addr, is_write });
+        true
+    }
+
+    /// `(reads, writes)` write-combined away since the last flush,
+    /// consumed. Batch-aware sinks fold these into their access counters
+    /// so filtering stays invisible in program-characteristic counts.
+    pub fn take_filtered(&mut self) -> (u64, u64) {
+        std::mem::take(&mut self.pending_filtered)
+    }
+
+    /// Any filtered accesses not yet consumed by [`take_filtered`](Self::take_filtered)?
+    pub fn has_pending_filtered(&self) -> bool {
+        self.pending_filtered != (0, 0)
+    }
+
+    /// Buffered entries awaiting flush.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Nothing buffered?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split borrow for the flush path: the pending entries and the
+    /// strand's verdict cache. The callee must drain/clear the entries.
+    pub fn parts(&mut self) -> (&mut Vec<BatchedAccess>, &mut VerdictCache) {
+        (&mut self.entries, &mut self.verdicts)
+    }
+
+    /// Drain the buffer through `f` in program order — the default
+    /// [`TaskHooks::on_access_batch`] replay. Filtered repeats are dropped
+    /// entirely (the legacy fast-path semantics), so the pending filtered
+    /// counts are discarded too.
+    pub fn replay(&mut self, mut f: impl FnMut(u64, bool)) {
+        self.pending_filtered = (0, 0);
+        for a in self.entries.drain(..) {
+            f(a.addr, a.is_write);
+        }
+    }
+
+    /// Drop pending entries without processing (reach-only detectors).
+    pub fn discard(&mut self) {
+        self.pending_filtered = (0, 0);
+        self.entries.clear();
+    }
+
+    /// Invalidate the position-scoped dedup filter (the verdict cache
+    /// stays — it is epoch-validated, not position-scoped).
+    pub fn clear_filter(&mut self) {
+        self.filter.fill((0, false));
+    }
+
+    /// `(recorded, filtered, verdict-cache hits)` counters of this strand.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.recorded, self.filtered, self.verdicts.hits())
+    }
+}
+
+/// Aggregate batch-pipeline counters of a [`Batched`] wrapper.
+#[derive(Debug, Default)]
+struct BatchCounters {
+    flushes: AtomicU64,
+    recorded: AtomicU64,
+    filtered: AtomicU64,
+    verdict_hits: AtomicU64,
+}
+
+/// Snapshot of a [`Batched`] wrapper's pipeline counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batch flushes (boundary + size-cap).
+    pub flushes: u64,
+    /// Accesses buffered (admitted past the filter).
+    pub recorded: u64,
+    /// Accesses write-combined away by the per-position filter.
+    pub filtered: u64,
+    /// Reachability queries skipped by the writer-epoch verdict cache.
+    pub verdict_hits: u64,
+}
+
+impl BatchStats {
+    /// Fraction of raw accesses absorbed by the dedup filter.
+    pub fn filter_hit_rate(&self) -> f64 {
+        let total = self.recorded + self.filtered;
+        if total == 0 {
+            0.0
+        } else {
+            self.filtered as f64 / total as f64
+        }
+    }
+}
+
+/// Wrap any detector so accesses flow through the batch pipeline.
+///
+/// `Batched<H>` buffers `on_read`/`on_write` into the strand's
+/// [`AccessBatch`] and delivers them via `H`'s
+/// [`TaskHooks::on_access_batch`] at strand boundaries and at the size
+/// cap. Detectors that don't override the batch hook get the default
+/// replay and behave exactly as if unwrapped (minus filtered repeats);
+/// detectors that do (sfrd-core's unified event sink) process the whole
+/// batch under one shadow-shard lock per touched shard.
+pub struct Batched<H> {
+    inner: H,
+    cap: usize,
+    counters: BatchCounters,
+}
+
+impl<H> Batched<H> {
+    /// Wrap `inner` with the default flush threshold.
+    pub fn new(inner: H) -> Self {
+        Self::with_capacity(inner, DEFAULT_BATCH_CAP)
+    }
+
+    /// Wrap `inner`, flushing whenever a strand buffers `cap` accesses.
+    pub fn with_capacity(inner: H, cap: usize) -> Self {
+        Self {
+            inner,
+            cap: cap.max(1),
+            counters: BatchCounters::default(),
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Aggregate pipeline counters (strands fold in at task end).
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            flushes: self.counters.flushes.load(Ordering::Relaxed),
+            recorded: self.counters.recorded.load(Ordering::Relaxed),
+            filtered: self.counters.filtered.load(Ordering::Relaxed),
+            verdict_hits: self.counters.verdict_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Strand of a [`Batched`] detector: the inner strand plus its buffer.
+pub struct BatchStrand<S> {
+    inner: S,
+    batch: AccessBatch,
+}
+
+impl<S> BatchStrand<S> {
+    /// The wrapped detector's strand.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<H: TaskHooks> Batched<H> {
+    #[inline]
+    fn flush(&self, s: &mut BatchStrand<H::Strand>) {
+        // Deliver when entries are pending, or when only filtered counts
+        // are (a cap flush drained the entries but repeats kept arriving) —
+        // the sink still needs those for its access counters.
+        if !s.batch.is_empty() || s.batch.has_pending_filtered() {
+            if !s.batch.is_empty() {
+                self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            self.inner.on_access_batch(&mut s.inner, &mut s.batch);
+            debug_assert!(
+                s.batch.is_empty() && !s.batch.has_pending_filtered(),
+                "on_access_batch must drain the batch"
+            );
+        }
+    }
+
+    /// Boundary flush: deliver pending accesses, then invalidate the
+    /// position-scoped filter (the strand's dag position changes next).
+    fn boundary(&self, s: &mut BatchStrand<H::Strand>) {
+        self.flush(s);
+        s.batch.clear_filter();
+    }
+
+    fn fresh_strand(&self, inner: H::Strand) -> BatchStrand<H::Strand> {
+        BatchStrand {
+            inner,
+            batch: AccessBatch::new(self.cap),
+        }
+    }
+
+    /// Fold a finished strand's counters into the aggregate.
+    fn absorb_stats(&self, s: &BatchStrand<H::Strand>) {
+        let (recorded, filtered, hits) = s.batch.stats();
+        self.counters
+            .recorded
+            .fetch_add(recorded, Ordering::Relaxed);
+        self.counters
+            .filtered
+            .fetch_add(filtered, Ordering::Relaxed);
+        self.counters
+            .verdict_hits
+            .fetch_add(hits, Ordering::Relaxed);
+    }
+}
+
+impl<H: TaskHooks> TaskHooks for Batched<H> {
+    type Strand = BatchStrand<H::Strand>;
+
+    fn root(&self) -> Self::Strand {
+        self.fresh_strand(self.inner.root())
+    }
+
+    fn on_spawn(&self, p: &mut Self::Strand) -> Self::Strand {
+        self.boundary(p);
+        self.fresh_strand(self.inner.on_spawn(&mut p.inner))
+    }
+
+    fn on_create(&self, p: &mut Self::Strand) -> Self::Strand {
+        self.boundary(p);
+        self.fresh_strand(self.inner.on_create(&mut p.inner))
+    }
+
+    fn on_sync(&self, s: &mut Self::Strand, children: Vec<Self::Strand>) {
+        self.boundary(s);
+        self.inner.on_sync(
+            &mut s.inner,
+            children
+                .into_iter()
+                .map(|mut c| {
+                    // Children flushed at their task end; drain defensively.
+                    self.flush(&mut c);
+                    c.inner
+                })
+                .collect(),
+        );
+    }
+
+    fn on_get(&self, s: &mut Self::Strand, done: &Self::Strand) {
+        self.boundary(s);
+        debug_assert!(done.batch.is_empty(), "future strand ended unflushed");
+        self.inner.on_get(&mut s.inner, &done.inner);
+    }
+
+    fn on_task_end(&self, s: &mut Self::Strand) {
+        self.boundary(s);
+        self.absorb_stats(s);
+        self.inner.on_task_end(&mut s.inner);
+    }
+
+    fn on_task_return(&self, p: &mut Self::Strand, c: &mut Self::Strand) {
+        self.boundary(p);
+        self.flush(c);
+        self.inner.on_task_return(&mut p.inner, &mut c.inner);
+    }
+
+    #[inline]
+    fn on_read(&self, s: &mut Self::Strand, addr: u64) {
+        if s.batch.record(addr, false) && s.batch.len() >= self.cap {
+            self.flush(s);
+        }
+    }
+
+    #[inline]
+    fn on_write(&self, s: &mut Self::Strand, addr: u64) {
+        if s.batch.record(addr, true) && s.batch.len() >= self.cap {
+            self.flush(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn filter_write_combines() {
+        let mut b = AccessBatch::new(16);
+        assert!(b.record(8, false));
+        assert!(!b.record(8, false), "repeat read combined");
+        assert!(b.record(8, true), "first write kept after read");
+        assert!(!b.record(8, true), "repeat write combined");
+        assert!(!b.record(8, false), "read after write covered");
+        assert_eq!(b.len(), 2);
+        let mut seen = vec![];
+        b.replay(|a, w| seen.push((a, w)));
+        assert_eq!(seen, vec![(8, false), (8, true)], "program order kept");
+        assert!(b.is_empty());
+        let (recorded, filtered, _) = b.stats();
+        assert_eq!((recorded, filtered), (2, 3));
+    }
+
+    #[test]
+    fn clear_filter_readmits() {
+        let mut b = AccessBatch::new(16);
+        assert!(b.record(8, true));
+        b.discard();
+        assert!(!b.record(8, true), "filter survives a cap flush");
+        b.clear_filter();
+        assert!(b.record(8, true), "boundary invalidates the filter");
+    }
+
+    #[test]
+    fn verdict_cache_epoch_validated() {
+        let mut v = VerdictCache::new();
+        assert!(!v.check(64, 1));
+        v.store(64, 1);
+        assert!(v.check(64, 1));
+        assert!(!v.check(64, 2), "stale epoch misses");
+        assert_eq!(v.hits(), 1);
+    }
+
+    /// Hooks that log every delivered event.
+    struct Log(Mutex<Vec<String>>);
+    impl TaskHooks for Log {
+        type Strand = ();
+        fn root(&self) {}
+        fn on_spawn(&self, _: &mut ()) {
+            self.0.lock().push("spawn".into());
+        }
+        fn on_create(&self, _: &mut ()) {
+            self.0.lock().push("create".into());
+        }
+        fn on_sync(&self, _: &mut (), _: Vec<()>) {
+            self.0.lock().push("sync".into());
+        }
+        fn on_get(&self, _: &mut (), _: &()) {
+            self.0.lock().push("get".into());
+        }
+        fn on_task_end(&self, _: &mut ()) {
+            self.0.lock().push("end".into());
+        }
+        fn on_read(&self, _: &mut (), addr: u64) {
+            self.0.lock().push(format!("r{addr}"));
+        }
+        fn on_write(&self, _: &mut (), addr: u64) {
+            self.0.lock().push(format!("w{addr}"));
+        }
+    }
+
+    #[test]
+    fn flushes_before_boundaries_in_program_order() {
+        let b = Batched::with_capacity(Log(Mutex::new(Vec::new())), 64);
+        let mut s = b.root();
+        b.on_read(&mut s, 1);
+        b.on_write(&mut s, 2);
+        b.on_read(&mut s, 1); // combined
+        let mut child = b.on_spawn(&mut s);
+        b.on_write(&mut child, 3);
+        b.on_task_end(&mut child);
+        b.on_sync(&mut s, vec![child]);
+        b.on_task_end(&mut s);
+        let log = b.inner().0.lock().clone();
+        assert_eq!(log, vec!["r1", "w2", "spawn", "w3", "end", "sync", "end"]);
+        assert_eq!(b.stats().filtered, 1);
+        assert!(b.stats().flushes >= 2);
+    }
+
+    #[test]
+    fn size_cap_flushes_midstream() {
+        let b = Batched::with_capacity(Log(Mutex::new(Vec::new())), 2);
+        let mut s = b.root();
+        for a in 0..5 {
+            b.on_write(&mut s, a);
+        }
+        // cap=2: addresses 0..3 must already be delivered.
+        assert!(b.inner().0.lock().len() >= 4);
+        b.on_task_end(&mut s);
+        assert_eq!(b.inner().0.lock().len(), 6, "5 writes + end");
+    }
+}

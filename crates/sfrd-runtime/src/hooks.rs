@@ -50,6 +50,24 @@ pub trait TaskHooks: Sync + Send + 'static {
 
     /// A shared-memory write at `addr`.
     fn on_write(&self, _s: &mut Self::Strand, _addr: u64) {}
+
+    /// A batch of accesses, all issued at the strand's current dag
+    /// position, delivered by the [`Batched`](crate::batch::Batched)
+    /// pipeline at a strand boundary or size cap. Implementations must
+    /// drain the batch. The default replays each access through
+    /// [`on_read`](Self::on_read)/[`on_write`](Self::on_write), so
+    /// detectors that never heard of batching behave identically under
+    /// the pipeline; batch-aware detectors override this with a bulk path
+    /// (e.g. one shadow-shard lock per touched shard).
+    fn on_access_batch(&self, s: &mut Self::Strand, batch: &mut crate::batch::AccessBatch) {
+        batch.replay(|addr, is_write| {
+            if is_write {
+                self.on_write(s, addr);
+            } else {
+                self.on_read(s, addr);
+            }
+        });
+    }
 }
 
 /// No-op hooks: the uninstrumented *base* configuration of Fig. 4.

@@ -34,10 +34,12 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod hooks;
 pub mod parallel;
 pub mod sequential;
 
+pub use batch::{AccessBatch, BatchStats, BatchStrand, Batched, BatchedAccess, VerdictCache};
 pub use hooks::{Cx, NullHooks, TaskHooks};
 pub use parallel::{FutureHandle, ParCtx, PoolStats, Runtime};
 pub use sequential::{run_sequential, SeqCtx, SeqHandle};

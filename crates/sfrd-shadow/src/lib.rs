@@ -1,18 +1,53 @@
-//! # sfrd-shadow — access-history shadow memory
+//! # sfrd-shadow — sharded, batch-lockable access-history shadow memory
 //!
 //! The second half of an on-the-fly race detector (§3.5, §4): for every
 //! memory location, remember enough previous accessors that a later
 //! conflicting access can be checked against them.
 //!
-//! Layout follows the paper's implementation: a sharded (two-level) table
-//! hashed by address with **fine-grained locking** — each lock covers a
-//! shard of 16-byte granules. The paper observes that the sheer volume of
-//! these lock acquisitions, one per instrumented access, dominates the
-//! `full`-configuration overhead of both parallel detectors; this crate
-//! reproduces that cost structure (and the `reach` configuration simply
-//! never calls in here).
+//! ## Architecture: shards × batches × writer epochs
 //!
-//! Two reader policies (selected per detector run):
+//! The table is split into a power-of-two number of **address shards**,
+//! each a hash map keyed by address under its own mutex. A shard — not a
+//! location — is the locking unit, which gives the access path two modes:
+//!
+//! * **per-access** ([`AccessHistory::locked`]): hash the address, take
+//!   its shard lock, run the check/update closure. One lock acquisition
+//!   per instrumented access — the cost structure the paper measures as
+//!   the dominant `full`-configuration overhead (§4), reproduced here and
+//!   counted by [`AccessHistory::lock_ops`].
+//! * **per-batch** ([`AccessHistory::with_shard`] +
+//!   [`AccessHistory::shard_index`]): the caller groups a strand's
+//!   buffered accesses by shard (sorting by [`shard_index`] also yields a
+//!   canonical lock order), takes each touched shard's lock **once**, and
+//!   processes every access that falls in it through the [`ShardView`].
+//!   Lock acquisitions drop from one per access to one per
+//!   (flush × touched shard) — the batching answer to the paper's §6
+//!   question about redesigning the access history to cut
+//!   synchronization.
+//!
+//! Batching does not change detection verdicts: all accesses in a batch
+//! were issued at one dag position, so a deferred check observes either
+//! the same shadow state a per-access check would have, or the state of
+//! an adjacent legal schedule of the same dag — and determinacy races are
+//! schedule-independent.
+//!
+//! ## Writer epochs (the seqlock-style fast path)
+//!
+//! Every [`LocEntry`] carries a [`writer_seq`](LocEntry::writer_seq)
+//! counter bumped whenever a new writer is installed
+//! ([`LocEntry::begin_write_epoch`]). Like a seqlock's sequence word, it
+//! lets a reader *validate* rather than *recompute*: a detector that has
+//! already proven "this entry's writer serially precedes my strand" may
+//! cache that verdict keyed by the epoch, and on a later access skip the
+//! (expensive) reachability query whenever the epoch is unchanged —
+//! sound because a strand's own positions only advance serially, so a
+//! writer that preceded an earlier position precedes every later one.
+//! The per-strand cache lives in `sfrd-runtime`'s `AccessBatch`; this
+//! crate only maintains the epoch.
+//!
+//! ## Reader policies
+//!
+//! Two reader-retention policies (selected per detector run):
 //!
 //! * [`ReaderPolicy::All`] — keep every reader since the last write (what
 //!   F-Order needs, and what the paper's SF-Order implementation ships,
@@ -43,11 +78,20 @@
 //!     assert!(entry.readers.is_empty());
 //! });
 //! assert_eq!(h.lock_ops(), 1);
+//!
+//! // Batch mode: one lock acquisition covers any number of accesses
+//! // that hash to the same shard.
+//! let shard = h.shard_index(0x1000);
+//! h.with_shard(shard, |view| {
+//!     let e = view.entry(0x1000);
+//!     assert_eq!(e.writer, Some((3, 3)));
+//! });
+//! assert_eq!(h.lock_ops(), 2);
 //! ```
 
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -192,14 +236,19 @@ pub struct LocEntry<P> {
     pub writer: Option<P>,
     /// Retained readers since the last write.
     pub readers: Readers<P>,
+    /// Writer epoch: bumped every time a new writer is installed. The
+    /// seqlock-style validation word for cached serial-writer verdicts
+    /// (see module docs).
+    pub writer_seq: u64,
 }
 
 impl<P: Copy> LocEntry<P> {
-    /// Install a new writer and drop the retained readers (sound: any race
-    /// with a dropped reader is either already reported or subsumed by a
-    /// race with this writer).
+    /// Install a new writer, advance the writer epoch, and drop the
+    /// retained readers (sound: any race with a dropped reader is either
+    /// already reported or subsumed by a race with this writer).
     pub fn begin_write_epoch(&mut self, w: P) {
         self.writer = Some(w);
+        self.writer_seq += 1;
         self.readers.clear();
     }
 }
@@ -212,15 +261,46 @@ struct Shard<P> {
 pub struct AccessHistory<P> {
     shards: Box<[Shard<P>]>,
     policy: ReaderPolicy,
-    /// Lock acquisitions (≈ instrumented accesses) — the dominant overhead
-    /// source identified in §4.
+    /// Shard-lock acquisitions. In per-access mode this equals the number
+    /// of instrumented accesses — the dominant overhead source identified
+    /// in §4; in batch mode it is one per (flush × touched shard).
     lock_ops: AtomicU64,
     mask: u64,
 }
 
-/// Memory-access granularity: one lock unit covers 16 bytes, matching the
-/// paper's fine-grained locking description.
+/// Memory-access granularity: one shadow granule covers 16 bytes, matching
+/// the paper's fine-grained locking description.
 pub const GRANULE_SHIFT: u32 = 4;
+
+/// Shard selection hashes the *block* — `1 << BLOCK_SHIFT` contiguous
+/// granules (1 KiB of address space) — not the individual granule.
+/// Hashing the block keeps distant allocations spread across shards, but
+/// preserves spatial locality within one: a strand scanning an array
+/// produces long runs of same-shard accesses, which is what lets a sorted
+/// batch flush amortize one lock over many entries instead of degenerating
+/// to one lock per access.
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// One shard of the table, locked once for a whole batch of accesses.
+pub struct ShardView<'a, P> {
+    map: MutexGuard<'a, AddrMap<LocEntry<P>>>,
+    policy: ReaderPolicy,
+}
+
+impl<P: Copy> ShardView<'_, P> {
+    /// The location's entry (created empty if absent). The address must
+    /// hash to this shard — debug-checked by the caller's bookkeeping, not
+    /// here (the map is per-shard, so a foreign address would just create
+    /// an unreachable entry).
+    pub fn entry(&mut self, addr: u64) -> &mut LocEntry<P> {
+        let policy = self.policy;
+        self.map.entry(addr).or_insert_with(|| LocEntry {
+            writer: None,
+            readers: Readers::new(policy),
+            writer_seq: 0,
+        })
+    }
+}
 
 impl<P: Copy + Send> AccessHistory<P> {
     /// Create a history with `shards` lock stripes (rounded up to a power
@@ -240,7 +320,7 @@ impl<P: Copy + Send> AccessHistory<P> {
         }
     }
 
-    /// Default sizing: 4096 stripes.
+    /// Default sizing: 4096 shards.
     pub fn with_policy(policy: ReaderPolicy) -> Self {
         Self::new(policy, 4096)
     }
@@ -250,30 +330,47 @@ impl<P: Copy + Send> AccessHistory<P> {
         self.policy
     }
 
-    #[inline]
-    fn shard_of(&self, addr: u64) -> &Shard<P> {
-        let granule = addr >> GRANULE_SHIFT;
-        let mut h = AddrHasher::default();
-        h.write_u64(granule);
-        &self.shards[(h.finish() & self.mask) as usize]
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Run `f` with the location's entry locked (creating it if absent).
-    /// This is the per-access critical section whose volume the paper
-    /// identifies as the dominant `full`-config cost.
+    /// The shard `addr` hashes to — by [`BLOCK_SHIFT`]-aligned block, so
+    /// neighbouring addresses share a shard. Batch flushers sort buffered
+    /// accesses by this index: equal indices share one lock acquisition,
+    /// and ascending order is the canonical lock order (each shard is
+    /// locked at most once per flush, so no deadlock is possible either
+    /// way — the order just keeps the discipline auditable).
+    #[inline]
+    pub fn shard_index(&self, addr: u64) -> usize {
+        let block = addr >> (GRANULE_SHIFT + BLOCK_SHIFT);
+        let mut h = AddrHasher::default();
+        h.write_u64(block);
+        (h.finish() & self.mask) as usize
+    }
+
+    /// Take one shard's lock and run `f` on the [`ShardView`]: the
+    /// batch-mode entry point — one `lock_ops` tick covers every entry the
+    /// closure touches.
+    #[inline]
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut ShardView<'_, P>) -> R) -> R {
+        self.lock_ops.fetch_add(1, Ordering::Relaxed);
+        let mut view = ShardView {
+            map: self.shards[shard].map.lock(),
+            policy: self.policy,
+        };
+        f(&mut view)
+    }
+
+    /// Run `f` with the location's entry locked (creating it if absent):
+    /// the per-access critical section whose volume the paper identifies
+    /// as the dominant `full`-config cost. One `lock_ops` tick per call.
     #[inline]
     pub fn locked<R>(&self, addr: u64, f: impl FnOnce(&mut LocEntry<P>) -> R) -> R {
-        self.lock_ops.fetch_add(1, Ordering::Relaxed);
-        let shard = self.shard_of(addr);
-        let mut map = shard.map.lock();
-        let entry = map.entry(addr).or_insert_with(|| LocEntry {
-            writer: None,
-            readers: Readers::new(self.policy),
-        });
-        f(entry)
+        self.with_shard(self.shard_index(addr), |view| f(view.entry(addr)))
     }
 
-    /// Total lock acquisitions so far.
+    /// Total shard-lock acquisitions so far.
     pub fn lock_ops(&self) -> u64 {
         self.lock_ops.load(Ordering::Relaxed)
     }
@@ -370,13 +467,17 @@ mod tests {
     }
 
     #[test]
-    fn write_epoch_clears_readers() {
+    fn write_epoch_clears_readers_and_advances_seq() {
         let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
         h.locked(0x8, |e| {
+            assert_eq!(e.writer_seq, 0);
             e.readers.record(0, (1, 1), eng_less, heb_less, precedes);
             e.begin_write_epoch((2, 2));
             assert!(e.readers.is_empty());
             assert_eq!(e.writer, Some((2, 2)));
+            assert_eq!(e.writer_seq, 1);
+            e.begin_write_epoch((3, 3));
+            assert_eq!(e.writer_seq, 2);
         });
     }
 
@@ -392,6 +493,42 @@ mod tests {
         assert_eq!(h.locations(), 1000);
         assert_eq!(h.lock_ops(), 1000);
         assert!(h.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn batch_mode_amortizes_lock_ops() {
+        let h: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, 4);
+        // Group 64 addresses by shard, lock each shard once.
+        let mut by_shard: Vec<Vec<u64>> = vec![Vec::new(); h.shard_count()];
+        for a in (0..64u64).map(|a| a * 32) {
+            by_shard[h.shard_index(a)].push(a);
+        }
+        for (shard, addrs) in by_shard.iter().enumerate() {
+            if addrs.is_empty() {
+                continue;
+            }
+            h.with_shard(shard, |view| {
+                for &a in addrs {
+                    view.entry(a).begin_write_epoch((1, 1));
+                }
+            });
+        }
+        assert!(
+            h.lock_ops() <= h.shard_count() as u64,
+            "one lock per touched shard, got {}",
+            h.lock_ops()
+        );
+        assert_eq!(h.locations(), 64);
+    }
+
+    #[test]
+    fn locked_and_with_shard_see_the_same_entry() {
+        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
+        h.locked(0x77, |e| e.begin_write_epoch((9, 9)));
+        let shard = h.shard_index(0x77);
+        h.with_shard(shard, |view| {
+            assert_eq!(view.entry(0x77).writer, Some((9, 9)));
+        });
     }
 
     #[test]
@@ -419,9 +556,9 @@ mod tests {
     #[test]
     fn shard_count_rounds_to_power_of_two() {
         let h: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, 5);
-        assert_eq!(h.shards.len(), 8);
+        assert_eq!(h.shard_count(), 8);
         let h1: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, 1);
-        assert_eq!(h1.shards.len(), 1);
+        assert_eq!(h1.shard_count(), 1);
         // Single-shard table still works.
         h1.locked(1, |e| e.begin_write_epoch((0, 0)));
         h1.locked(2, |e| e.begin_write_epoch((1, 1)));

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
 # Regenerate every evaluation artifact referenced by EXPERIMENTS.md.
 # Usage: tools/run_experiments.sh [scale] [workers] [reps]
+#   workers defaults to the machine's core count (capped at 8, the
+#   largest Fig. 4 configuration we report).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+default_workers() {
+  local n
+  n="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+  if ((n > 8)); then n=8; fi
+  echo "$n"
+}
+
 SCALE="${1:-medium}"
-WORKERS="${2:-2}"
+WORKERS="${2:-$(default_workers)}"
 REPS="${3:-3}"
 
 echo ">> building (release)"
@@ -14,8 +23,13 @@ cargo build --workspace --release
 run() {
   local bin="$1" out="$2"
   shift 2
+  local exe="target/release/$bin"
+  if [[ ! -x "$exe" ]]; then
+    echo "error: $exe missing after build — did 'cargo build --workspace --release' skip sfrd-bench?" >&2
+    exit 1
+  fi
   echo ">> $bin $* -> $out"
-  cargo run -q -p sfrd-bench --release --bin "$bin" -- "$@" | tee "$out"
+  "$exe" "$@" | tee "$out"
 }
 
 run fig3_characteristics results_fig3_"$SCALE".txt --scale "$SCALE"
@@ -24,4 +38,4 @@ run k_scaling            results_kscaling.txt
 # fig4 last: it is timing-sensitive, keep the machine quiet.
 run fig4_times           results_fig4_"$SCALE".txt --scale "$SCALE" --workers "$WORKERS" --reps "$REPS"
 
-echo ">> done; see results_*.txt"
+echo ">> done (scale=$SCALE workers=$WORKERS reps=$REPS); see results_*.txt"

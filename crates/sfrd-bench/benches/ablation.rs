@@ -125,11 +125,49 @@ fn shadow_batching(c: &mut Criterion) {
     g.finish();
 }
 
+/// The decentralized order-maintenance ablation (DESIGN.md §5): SF-Order
+/// full detection across worker counts, with the OM contention counters
+/// reported once per configuration before the timing loop. The pre-change
+/// design took the global mutex once per insert operation, so
+/// `global_escalations / (fast_inserts + global_escalations)` is the
+/// fraction of the old global-lock traffic that survives — the >=5x
+/// reduction claim is checkable from the bench log.
+fn om_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/om_contention");
+    g.sample_size(10);
+    for name in ["sw", "hw"] {
+        for workers in [1usize, 2, 4] {
+            let w = make_bench(name, Scale::Small, 1);
+            let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers);
+            let rep = drive(&w, cfg).report.expect("Full mode returns a report");
+            let m = &rep.metrics;
+            eprintln!(
+                "om_contention/{name}/{workers}w: fast_inserts={} group_locks={} \
+                 global_escalations={} query_retries={} races={}",
+                m.om_fast_inserts,
+                m.om_group_locks,
+                m.om_global_escalations,
+                m.om_query_retries,
+                rep.total_races,
+            );
+            g.bench_function(format!("{name}/{workers}w"), |b| {
+                b.iter(|| {
+                    let w = make_bench(name, Scale::Small, 1);
+                    let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers);
+                    black_box(drive(&w, cfg));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     ablation,
     reader_policy,
     gp_representation,
     access_fast_path,
-    shadow_batching
+    shadow_batching,
+    om_contention
 );
 criterion_main!(ablation);

@@ -1,11 +1,13 @@
 //! Micro-benchmarks of the order-maintenance substrate: the per-construct
 //! cost floor of SF-Order's reachability maintenance (3 OM inserts per
-//! fork across two lists) and the per-query cost floor (2 label
-//! comparisons).
+//! fork across two lists), the per-query cost floor (2 label
+//! comparisons), and the scalability of the group-local insert fast path
+//! under real thread contention (1/2/4/8 threads).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sfrd_om::OmList;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_insert_append(c: &mut Criterion) {
     c.bench_function("om/insert_append_1k", |b| {
@@ -55,5 +57,108 @@ fn bench_query(c: &mut Criterion) {
     });
 }
 
-criterion_group!(om, bench_insert_append, bench_insert_hotspot, bench_query);
+/// T threads appending to disjoint anchor chains of one shared list: the
+/// group-local fast path means the threads contend only on the arena's
+/// reservation counter, not on a global mutex. Fixed total work (4096
+/// inserts) split across the threads, so the 1T cell is the serial
+/// reference and the multi-thread cells expose pure contention cost
+/// (on a 1-core box: lock-handoff overhead rather than speedup).
+fn bench_insert_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("om/contended_insert");
+    g.sample_size(10);
+    const TOTAL: usize = 4096;
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("{threads}T"), |b| {
+            b.iter_batched(
+                || {
+                    let (list, base) = OmList::new();
+                    let mut anchors = Vec::with_capacity(threads);
+                    let mut last = base;
+                    for _ in 0..threads {
+                        last = list.insert_after(last);
+                        anchors.push(last);
+                    }
+                    (Arc::new(list), anchors)
+                },
+                |(list, anchors)| {
+                    let per = TOTAL / anchors.len();
+                    std::thread::scope(|s| {
+                        for &anchor in &anchors {
+                            let list = &list;
+                            s.spawn(move || {
+                                let mut cur = anchor;
+                                for _ in 0..per {
+                                    cur = list.insert_after(cur);
+                                }
+                                black_box(cur);
+                            });
+                        }
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// T query threads doing lock-free order queries while one writer hammers
+/// inserts at the head (maximal relabel/split pressure): measures seqlock
+/// retry cost under churn. Fixed total query work split across threads.
+fn bench_query_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("om/contended_query");
+    g.sample_size(10);
+    const TOTAL_QUERIES: usize = 16_384;
+    const WRITER_INSERTS: usize = 2_048;
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("{threads}T"), |b| {
+            b.iter_batched(
+                || {
+                    let (list, base) = OmList::new();
+                    let mut handles = vec![base];
+                    let mut cur = base;
+                    for _ in 0..1_000 {
+                        cur = list.insert_after(cur);
+                        handles.push(cur);
+                    }
+                    (Arc::new(list), handles, base)
+                },
+                |(list, handles, base)| {
+                    let per = TOTAL_QUERIES / threads;
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let list = &list;
+                            let handles = &handles;
+                            s.spawn(move || {
+                                let mut i = t * 7919;
+                                for _ in 0..per {
+                                    i = (i + 7919) % handles.len();
+                                    let j = (i * 31 + 1) % handles.len();
+                                    black_box(list.precedes(handles[i], handles[j]));
+                                }
+                            });
+                        }
+                        let list = &list;
+                        s.spawn(move || {
+                            for _ in 0..WRITER_INSERTS {
+                                black_box(list.insert_after(base));
+                            }
+                        });
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    om,
+    bench_insert_append,
+    bench_insert_hotspot,
+    bench_query,
+    bench_insert_contended,
+    bench_query_contended
+);
 criterion_main!(om);

@@ -9,9 +9,30 @@
 //! (`T1/T∞`, the greedy-scheduler headroom), which is schedule- and
 //! machine-independent. EXPERIMENTS.md discusses the mapping to the
 //! paper's 20-core numbers.
+//!
+//! `--json` additionally writes `BENCH_fig4.json` (`--json-out PATH` to
+//! override): every timed cell with its wall time and — for detector
+//! configs — the metrics snapshot of the final repetition (shadow-lock,
+//! batching, and OM-contention counters). The committed snapshot is the
+//! machine-tracked perf trajectory across PRs.
 
-use sfrd_bench::{fig4_grid, run_bench_timed, times, work_span, HarnessArgs, Table};
+use sfrd_bench::{
+    fig4_grid, report_json, run_bench_cell, times, work_span, HarnessArgs, Json, Table, TimedCell,
+};
 use sfrd_core::{DetectorKind, DriveConfig};
+
+fn cell_json(config: &str, workers: usize, cell: &TimedCell) -> Json {
+    let metrics = match &cell.report {
+        Some(rep) => report_json(rep),
+        None => Json::Null,
+    };
+    Json::obj()
+        .field("config", config)
+        .field("workers", workers)
+        .field("mean_s", cell.timing.mean)
+        .field("sd_s", cell.timing.sd)
+        .field("metrics", metrics)
+}
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -31,59 +52,85 @@ fn main() {
         "bench", "config", "T1 (s)", "sd%", "ovh1", "TP (s)", "ovhP", "T1/TP", "T1/Tinf",
     ]);
     let fmt_s = |x: f64| format!("{x:.3}");
+    let mut bench_objects: Vec<Json> = Vec::new();
     for name in &args.benches {
         let (work, span) = work_span(name, args.scale);
         let parallelism = work as f64 / span.max(1) as f64;
+        let mut rows: Vec<Json> = Vec::new();
 
-        let base1 = run_bench_timed(name, args.scale, DriveConfig::base(1), args.reps);
-        let basep = run_bench_timed(name, args.scale, DriveConfig::base(p), args.reps);
+        let base1 = run_bench_cell(name, args.scale, DriveConfig::base(1), args.reps);
+        let basep = run_bench_cell(name, args.scale, DriveConfig::base(p), args.reps);
+        rows.push(cell_json("base", 1, &base1));
+        rows.push(cell_json("base", p, &basep));
         t.row(vec![
             name.clone(),
             "base".into(),
-            fmt_s(base1.mean),
-            format!("{:.1}", base1.rsd()),
+            fmt_s(base1.timing.mean),
+            format!("{:.1}", base1.timing.rsd()),
             "1.00x".into(),
-            fmt_s(basep.mean),
+            fmt_s(basep.timing.mean),
             "1.00x".into(),
-            times(base1.mean / basep.mean),
+            times(base1.timing.mean / basep.timing.mean),
             format!("{parallelism:.1}"),
         ]);
 
         for (label, kind, mode) in fig4_grid() {
-            let t1 = run_bench_timed(
+            let t1 = run_bench_cell(
                 name,
                 args.scale,
                 DriveConfig::with(kind, mode, 1),
                 args.reps,
             );
+            rows.push(cell_json(label, 1, &t1));
             let (tp_cell, ovhp, scal) = if kind == DetectorKind::MultiBags {
                 // Sequential-only: no parallel column.
                 ("-".to_string(), "-".to_string(), "-".to_string())
             } else {
-                let tp = run_bench_timed(
+                let tp = run_bench_cell(
                     name,
                     args.scale,
                     DriveConfig::with(kind, mode, p),
                     args.reps,
                 );
-                (
-                    fmt_s(tp.mean),
-                    times(tp.mean / basep.mean),
-                    times(t1.mean / tp.mean),
-                )
+                let row = (
+                    fmt_s(tp.timing.mean),
+                    times(tp.timing.mean / basep.timing.mean),
+                    times(t1.timing.mean / tp.timing.mean),
+                );
+                rows.push(cell_json(label, p, &tp));
+                row
             };
             t.row(vec![
                 name.clone(),
                 label.to_string(),
-                fmt_s(t1.mean),
-                format!("{:.1}", t1.rsd()),
-                times(t1.mean / base1.mean),
+                fmt_s(t1.timing.mean),
+                format!("{:.1}", t1.timing.rsd()),
+                times(t1.timing.mean / base1.timing.mean),
                 tp_cell,
                 ovhp,
                 scal,
                 String::new(),
             ]);
         }
+        bench_objects.push(
+            Json::obj()
+                .field("bench", name.as_str())
+                .field("work", work)
+                .field("span", span)
+                .field("parallelism", parallelism)
+                .field("rows", rows),
+        );
     }
     print!("{}", t.render());
+    if let Some(path) = &args.json {
+        let doc = Json::obj()
+            .field("schema", 1u64)
+            .field("figure", "fig4")
+            .field("scale", format!("{:?}", args.scale).to_lowercase())
+            .field("workers", p)
+            .field("reps", args.reps)
+            .field("benches", bench_objects);
+        std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 }

@@ -17,12 +17,18 @@
 
 #![warn(missing_docs)]
 
+mod json;
+
 use std::sync::Arc;
 use std::time::Duration;
 
-use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, Outcome, RecordingHooks, Workload};
+use sfrd_core::{
+    drive, DetectorKind, DriveConfig, Mode, Outcome, RaceReport, RecordingHooks, Workload,
+};
 use sfrd_runtime::run_sequential;
 use sfrd_workloads::{make_bench, AnyBench, Scale, BENCH_NAMES};
+
+pub use json::Json;
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -35,6 +41,9 @@ pub struct HarnessArgs {
     pub benches: Vec<String>,
     /// Repetitions per timed cell (the paper averages five runs).
     pub reps: usize,
+    /// Machine-readable output path (`--json`, default `BENCH_fig4.json`;
+    /// override with `--json-out PATH`). `None` = human table only.
+    pub json: Option<String>,
 }
 
 impl HarnessArgs {
@@ -45,6 +54,7 @@ impl HarnessArgs {
         let mut workers = default_workers();
         let mut benches: Vec<String> = Vec::new();
         let mut reps = 1usize;
+        let mut json = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -76,6 +86,15 @@ impl HarnessArgs {
                         .filter(|&r| r >= 1)
                         .unwrap_or_else(|| usage("bad --reps"));
                 }
+                "--json" => {
+                    json.get_or_insert_with(|| "BENCH_fig4.json".to_string());
+                }
+                "--json-out" => {
+                    json = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("missing --json-out path")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -88,6 +107,7 @@ impl HarnessArgs {
             workers,
             benches,
             reps,
+            json,
         }
     }
 }
@@ -98,7 +118,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale small|medium|paper] [--workers N] [--reps N] \
-         [--bench mm|sort|sw|hw|ferret]..."
+         [--bench mm|sort|sw|hw|ferret]... [--json] [--json-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -150,21 +170,65 @@ impl Timing {
     }
 }
 
-/// Run a cell `reps` times; returns mean/sd (each run re-verifies).
-pub fn run_bench_timed(name: &str, scale: Scale, cfg: DriveConfig, reps: usize) -> Timing {
-    let samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| run_bench(name, scale, cfg).0.wall.as_secs_f64())
-        .collect();
+/// One timed grid cell: the timing plus the *last* repetition's race
+/// report (detector configs only; `None` for base runs).
+pub struct TimedCell {
+    /// Mean/sd over the repetitions.
+    pub timing: Timing,
+    /// Report of the final repetition (counter values are per-run, not
+    /// accumulated across reps — each rep builds a fresh detector).
+    pub report: Option<RaceReport>,
+}
+
+/// Run a cell `reps` times; returns mean/sd plus the last run's report
+/// (each run re-verifies).
+pub fn run_bench_cell(name: &str, scale: Scale, cfg: DriveConfig, reps: usize) -> TimedCell {
+    let mut samples = Vec::with_capacity(reps.max(1));
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let (out, _) = run_bench(name, scale, cfg);
+        samples.push(out.wall.as_secs_f64());
+        report = out.report;
+    }
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let var = if samples.len() > 1 {
         samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (samples.len() - 1) as f64
     } else {
         0.0
     };
-    Timing {
-        mean,
-        sd: var.sqrt(),
+    TimedCell {
+        timing: Timing {
+            mean,
+            sd: var.sqrt(),
+        },
+        report,
     }
+}
+
+/// Run a cell `reps` times; returns mean/sd (each run re-verifies).
+pub fn run_bench_timed(name: &str, scale: Scale, cfg: DriveConfig, reps: usize) -> Timing {
+    run_bench_cell(name, scale, cfg, reps).timing
+}
+
+/// The per-detector metrics snapshot as a JSON object (the perf-trajectory
+/// payload of `BENCH_fig4.json`).
+pub fn report_json(rep: &RaceReport) -> Json {
+    Json::obj()
+        .field("reads", rep.counts.reads)
+        .field("writes", rep.counts.writes)
+        .field("queries", rep.counts.queries)
+        .field("reach_bytes", rep.reach_bytes)
+        .field("history_bytes", rep.history_bytes)
+        .field("lock_ops", rep.metrics.lock_ops)
+        .field("batch_flushes", rep.metrics.batch_flushes)
+        .field("batched_accesses", rep.metrics.batched_accesses)
+        .field("filtered_accesses", rep.metrics.filtered_accesses)
+        .field("seqlock_hits", rep.metrics.seqlock_hits)
+        .field("bitmap_merges", rep.metrics.bitmap_merges)
+        .field("om_fast_inserts", rep.metrics.om_fast_inserts)
+        .field("om_group_locks", rep.metrics.om_group_locks)
+        .field("om_global_escalations", rep.metrics.om_global_escalations)
+        .field("om_query_retries", rep.metrics.om_query_retries)
 }
 
 /// Work and span of the recorded dag (node weights = instrumented

@@ -137,6 +137,9 @@ impl ReachEngine for SfEngine {
     fn merges(&self) -> u64 {
         self.0.set_stats().snapshot().2
     }
+    fn om_stats(&self) -> sfrd_om::OmStats {
+        self.0.sp_order().om_stats()
+    }
 }
 
 /// The paper's detector: SF-Order reachability + access history.
@@ -202,6 +205,9 @@ impl ReachEngine for FoEngine {
     }
     fn merges(&self) -> u64 {
         self.0.set_stats().snapshot().2
+    }
+    fn om_stats(&self) -> sfrd_om::OmStats {
+        self.0.sp_order().om_stats()
     }
 }
 

@@ -86,6 +86,11 @@ pub trait ReachEngine: Send + Sync + 'static {
     fn merges(&self) -> u64 {
         0
     }
+    /// Order-maintenance contention counters (zeros for engines without
+    /// OM lists, e.g. MultiBags).
+    fn om_stats(&self) -> sfrd_om::OmStats {
+        sfrd_om::OmStats::default()
+    }
 }
 
 /// The unified detector: the on-the-fly protocol of §1/§3 over any
@@ -139,11 +144,18 @@ impl<E: ReachEngine> EventSink<E> {
             counts: self.counters.snapshot(),
             reach_bytes: self.engine.heap_bytes(),
             history_bytes: self.history.as_ref().map_or(0, |h| h.heap_bytes()),
-            metrics: MetricsSnapshot {
-                lock_ops: self.history.as_ref().map_or(0, |h| h.lock_ops()),
-                seqlock_hits: self.seqlock_hits.load(Ordering::Relaxed),
-                bitmap_merges: self.engine.merges(),
-                ..MetricsSnapshot::default()
+            metrics: {
+                let om = self.engine.om_stats();
+                MetricsSnapshot {
+                    lock_ops: self.history.as_ref().map_or(0, |h| h.lock_ops()),
+                    seqlock_hits: self.seqlock_hits.load(Ordering::Relaxed),
+                    bitmap_merges: self.engine.merges(),
+                    om_fast_inserts: om.fast_inserts,
+                    om_group_locks: om.group_locks,
+                    om_global_escalations: om.global_escalations,
+                    om_query_retries: om.query_retries,
+                    ..MetricsSnapshot::default()
+                }
             },
         }
     }

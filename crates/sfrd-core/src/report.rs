@@ -157,6 +157,15 @@ pub struct MetricsSnapshot {
     pub seqlock_hits: u64,
     /// Reachability-side bitmap/set merges.
     pub bitmap_merges: u64,
+    /// OM insert operations completed on the group-local fast path.
+    pub om_fast_inserts: u64,
+    /// OM group-spinlock acquisitions.
+    pub om_group_locks: u64,
+    /// OM insert operations that escalated to the global lock
+    /// (relabels/splits/respreads).
+    pub om_global_escalations: u64,
+    /// OM order-query seqlock retries.
+    pub om_query_retries: u64,
 }
 
 impl MetricsSnapshot {

@@ -80,6 +80,9 @@ impl ReachEngine for WspEngine {
     fn heap_bytes(&self) -> usize {
         self.0.heap_bytes()
     }
+    fn om_stats(&self) -> sfrd_om::OmStats {
+        self.0.om_stats()
+    }
 }
 
 /// The fork-join-only detector.

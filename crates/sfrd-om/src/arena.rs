@@ -1,11 +1,19 @@
-//! Append-only chunked arena with lock-free reads.
+//! Append-only chunked arena with lock-free reads and concurrent appends.
 //!
 //! The order-maintenance list needs its item and group slots to be readable
-//! by query threads while an insert (holding the list mutex) appends new
-//! slots. A plain `Vec` cannot do this: growth reallocates and invalidates
-//! concurrent readers. This arena never moves elements: it allocates
-//! geometrically growing buckets and publishes them with release stores, so
-//! an index handed out by `push` stays valid for the arena's lifetime.
+//! by query threads while inserts append new slots. A plain `Vec` cannot do
+//! this: growth reallocates and invalidates concurrent readers. This arena
+//! never moves elements: it allocates geometrically growing buckets and
+//! publishes them with release stores, so an index handed out by `push`
+//! stays valid for the arena's lifetime.
+//!
+//! Since the decentralization of `OmList` inserts (group-local locking),
+//! `push` must also be callable from *multiple* threads at once: two
+//! inserts into different groups race on the item arena. Appends therefore
+//! use a two-counter protocol: `reserved` hands out slots with a single
+//! `fetch_add`, each writer initializes its slot off-lock, and `len` (the
+//! readers' bound) advances strictly in reservation order so a published
+//! index always denotes a fully initialized slot.
 
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
@@ -16,10 +24,13 @@ const SPINE: usize = 32;
 /// Capacity of bucket 0.
 const BASE: usize = 64;
 
-/// Append-only arena: single writer (enforced by the caller's lock),
-/// many concurrent readers.
+/// Append-only arena: concurrent writers (slot reservation via
+/// `fetch_add`, in-order publication), many concurrent readers.
 pub struct AppendArena<T> {
     spine: [AtomicPtr<T>; SPINE],
+    /// Slots handed out to writers (may transiently exceed `len`).
+    reserved: AtomicUsize,
+    /// Slots fully initialized and visible to readers.
     len: AtomicUsize,
 }
 
@@ -45,6 +56,7 @@ impl<T> AppendArena<T> {
     pub fn new() -> Self {
         Self {
             spine: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            reserved: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
         }
     }
@@ -67,7 +79,7 @@ impl<T> AppendArena<T> {
         assert!(index < self.len(), "arena index {index} out of bounds");
         // SAFETY: index < len implies the bucket was published with Release
         // (we loaded len with Acquire) and the slot was fully written before
-        // len was bumped.
+        // len advanced past it.
         unsafe { self.get_unchecked(index) }
     }
 
@@ -83,25 +95,61 @@ impl<T> AppendArena<T> {
         unsafe { &*ptr.add(offset) }
     }
 
-    /// Append an element, returning its index.
+    /// Append an element, returning its index. Safe to call from many
+    /// threads concurrently.
     ///
-    /// # Safety
-    /// The caller must guarantee it is the only thread calling `push`
-    /// (the OM list serializes pushes under its insert mutex).
-    pub unsafe fn push(&self, value: T) -> usize {
-        let index = self.len.load(Ordering::Relaxed);
+    /// Protocol: reserve an index (`fetch_add`), write the slot, then spin
+    /// until every lower reservation has published and bump `len`. The
+    /// publication window is the slot write of the predecessor — nanoseconds
+    /// — so the spin is bounded in practice; `yield_now` keeps it live on
+    /// oversubscribed single-core machines.
+    pub fn push(&self, value: T) -> usize {
+        let index = self.reserved.fetch_add(1, Ordering::Relaxed);
         let (bucket, offset) = locate(index);
-        let mut ptr = self.spine[bucket].load(Ordering::Relaxed);
-        if ptr.is_null() {
+        let ptr = if offset == 0 {
+            // Exactly one reservation per bucket has offset 0: that writer
+            // is the bucket's sole allocator; later writers (and readers,
+            // via the `len` bound) acquire the pointer it releases.
             let cap = bucket_capacity(bucket);
             let mut chunk: Vec<T> = Vec::with_capacity(cap);
-            ptr = chunk.as_mut_ptr();
+            let p = chunk.as_mut_ptr();
             std::mem::forget(chunk);
-            self.spine[bucket].store(ptr, Ordering::Release);
-        }
-        // SAFETY: single writer; slot `offset` has never been initialized.
+            self.spine[bucket].store(p, Ordering::Release);
+            p
+        } else {
+            let mut spins = 0u32;
+            loop {
+                let p = self.spine[bucket].load(Ordering::Acquire);
+                if !p.is_null() {
+                    break p;
+                }
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        };
+        // SAFETY: the reservation gives this thread exclusive ownership of
+        // slot `offset`; it has never been initialized.
         unsafe { ptr.add(offset).write(value) };
-        self.len.store(index + 1, Ordering::Release);
+        // Publish in reservation order. AcqRel on success chains the
+        // predecessor's release into ours, so a reader that observes
+        // `len > i` sees slot `i` initialized for every `i` below.
+        let mut spins = 0u32;
+        while self
+            .len
+            .compare_exchange_weak(index, index + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
         index
     }
 
@@ -121,6 +169,7 @@ impl<T> AppendArena<T> {
 impl<T> Drop for AppendArena<T> {
     fn drop(&mut self) {
         let len = *self.len.get_mut();
+        debug_assert_eq!(len, *self.reserved.get_mut());
         for bucket in 0..SPINE {
             let ptr = *self.spine[bucket].get_mut();
             if ptr.is_null() {
@@ -137,7 +186,8 @@ impl<T> Drop for AppendArena<T> {
     }
 }
 
-// SAFETY: the arena hands out &T only; writers are externally serialized.
+// SAFETY: the arena hands out &T only; concurrent pushes are serialized by
+// the reservation counter (disjoint slots) and the in-order publication.
 unsafe impl<T: Send + Sync> Send for AppendArena<T> {}
 unsafe impl<T: Send + Sync> Sync for AppendArena<T> {}
 
@@ -172,7 +222,7 @@ mod tests {
     fn push_and_get_roundtrip() {
         let arena = AppendArena::new();
         for i in 0..10_000usize {
-            let idx = unsafe { arena.push(i * 3) };
+            let idx = arena.push(i * 3);
             assert_eq!(idx, i);
         }
         assert_eq!(arena.len(), 10_000);
@@ -185,9 +235,7 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
         let arena: AppendArena<u32> = AppendArena::new();
-        unsafe {
-            arena.push(7);
-        }
+        arena.push(7);
         arena.get(1);
     }
 
@@ -204,9 +252,7 @@ mod tests {
         {
             let arena = AppendArena::new();
             for _ in 0..500 {
-                unsafe {
-                    arena.push(D);
-                }
+                arena.push(D);
             }
         }
         assert_eq!(DROPS.load(Ordering::Relaxed), 500);
@@ -216,15 +262,11 @@ mod tests {
     fn heap_bytes_grows() {
         let arena: AppendArena<u64> = AppendArena::new();
         assert_eq!(arena.heap_bytes(), 0);
-        unsafe {
-            arena.push(1);
-        }
+        arena.push(1);
         let one = arena.heap_bytes();
         assert!(one >= 64 * 8);
         for i in 0..1000 {
-            unsafe {
-                arena.push(i);
-            }
+            arena.push(i);
         }
         assert!(arena.heap_bytes() > one);
     }
@@ -250,13 +292,62 @@ mod tests {
             }));
         }
         for i in 0..200_000usize {
-            unsafe {
-                arena.push(i);
-            }
+            arena.push(i);
         }
         stop.store(1, Ordering::Relaxed);
         for r in readers {
             r.join().unwrap();
         }
+    }
+
+    /// Many writers racing on reservations: every index is handed out once,
+    /// every published slot is initialized, and readers never observe a
+    /// torn prefix.
+    #[test]
+    fn concurrent_writers_publish_in_order() {
+        use std::sync::Arc;
+        const WRITERS: usize = 4;
+        const PER: usize = 50_000;
+        let arena = Arc::new(AppendArena::<usize>::new());
+        let stop = Arc::new(AtomicUsize::new(0));
+        let reader = {
+            let a = Arc::clone(&arena);
+            let s = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while s.load(Ordering::Relaxed) == 0 {
+                    let len = a.len();
+                    if len > 0 {
+                        // Slots hold writer-tagged values; all must be
+                        // readable (i.e. initialized) up to len.
+                        let i = len - 1;
+                        assert!(*a.get(i) < WRITERS * PER + WRITERS);
+                    }
+                }
+            })
+        };
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let a = Arc::clone(&arena);
+                std::thread::spawn(move || {
+                    let mut indices = Vec::with_capacity(PER);
+                    for i in 0..PER {
+                        indices.push(a.push(w * PER + i));
+                    }
+                    indices
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = Vec::new();
+        for w in writers {
+            all.extend(w.join().unwrap());
+        }
+        stop.store(1, Ordering::Relaxed);
+        reader.join().unwrap();
+        all.sort_unstable();
+        assert_eq!(all.len(), WRITERS * PER);
+        for (want, got) in all.iter().enumerate() {
+            assert_eq!(want, *got, "reservation skipped or duplicated an index");
+        }
+        assert_eq!(arena.len(), WRITERS * PER);
     }
 }

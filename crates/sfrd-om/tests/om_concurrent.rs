@@ -1,0 +1,317 @@
+//! Threaded stress tests for the decentralized (group-local) OM insert
+//! protocol: concurrent inserters + concurrent lock-free queriers, with
+//! forced group splits and forced group-label respreads, validated against
+//! a total-order oracle rebuilt from the final list.
+//!
+//! Run in release mode (CI does): debug-mode atomics make the seqlock
+//! windows so long that the schedules stop resembling production.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sfrd_om::{OmHandle, OmList};
+
+/// Rank oracle: handle → position in the list's true total order, read
+/// out *after* all writers joined. `order()` answers must agree with rank
+/// comparison for every pair.
+fn rank_oracle(list: &OmList) -> BTreeMap<usize, usize> {
+    list.iter_order()
+        .into_iter()
+        .enumerate()
+        .map(|(rank, h)| (h.index(), rank))
+        .collect()
+}
+
+fn assert_order_matches_oracle(
+    list: &OmList,
+    handles: &[OmHandle],
+    oracle: &BTreeMap<usize, usize>,
+) {
+    let n = handles.len();
+    let step = (n / 64).max(1);
+    for i in (0..n).step_by(step) {
+        for j in (0..n).step_by(step) {
+            let a = handles[i];
+            let b = handles[j];
+            let expect = oracle[&a.index()].cmp(&oracle[&b.index()]);
+            assert_eq!(
+                list.order(a, b),
+                expect,
+                "order({:?}, {:?}) disagrees with the rank oracle",
+                a,
+                b
+            );
+        }
+    }
+}
+
+/// N inserter threads append to disjoint anchor chains while M query
+/// threads verify a fixed chain; afterwards every thread's chain must be
+/// contiguous in rank space between its anchors and all pairwise orders
+/// must match the oracle.
+#[test]
+fn concurrent_inserters_match_rank_oracle() {
+    const WRITERS: usize = 4;
+    const READERS: usize = 2;
+    const PER: usize = 8_000;
+
+    let (list, base) = OmList::new();
+    let list = Arc::new(list);
+    // Anchors: base < a0 < a1 < a2 < a3, built serially.
+    let mut anchors = Vec::with_capacity(WRITERS);
+    let mut last = base;
+    for _ in 0..WRITERS {
+        last = list.insert_after(last);
+        anchors.push(last);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            let chain: Vec<OmHandle> = std::iter::once(base).chain(anchors.clone()).collect();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for w in chain.windows(2) {
+                        assert!(list.precedes(w[0], w[1]), "anchor order violated");
+                        assert!(!list.precedes(w[1], w[0]));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let list = Arc::clone(&list);
+            let anchor = anchors[w];
+            std::thread::spawn(move || {
+                let mut chain = vec![anchor];
+                let mut cur = anchor;
+                for i in 0..PER {
+                    // Mix single inserts with combined runs, like
+                    // SpOrder::fork does.
+                    match i % 3 {
+                        0 => {
+                            cur = list.insert_after(cur);
+                            chain.push(cur);
+                        }
+                        1 => {
+                            let [a, b] = list.insert_n_after::<2>(cur);
+                            chain.push(a);
+                            chain.push(b);
+                            cur = b;
+                        }
+                        _ => {
+                            let [a, b, c] = list.insert_n_after::<3>(cur);
+                            chain.push(a);
+                            chain.push(b);
+                            chain.push(c);
+                            cur = c;
+                        }
+                    }
+                }
+                chain
+            })
+        })
+        .collect();
+
+    let chains: Vec<Vec<OmHandle>> = writers.into_iter().map(|t| t.join().unwrap()).collect();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    let oracle = rank_oracle(&list);
+    assert_eq!(oracle.len(), list.len(), "iter_order must cover every item");
+
+    // Each writer appended after its own tail, so its chain is contiguous
+    // and strictly between its anchor and the next writer's anchor.
+    for (w, chain) in chains.iter().enumerate() {
+        let ranks: Vec<usize> = chain.iter().map(|h| oracle[&h.index()]).collect();
+        for pair in ranks.windows(2) {
+            assert!(pair[0] < pair[1], "writer {w} chain out of order");
+        }
+        if w + 1 < chains.len() {
+            let next_anchor_rank = oracle[&anchors[w + 1].index()];
+            assert!(
+                *ranks.last().unwrap() < next_anchor_rank,
+                "writer {w} leaked past the next anchor"
+            );
+        }
+    }
+
+    // Pairwise order queries agree with the oracle across all chains.
+    let sample: Vec<OmHandle> = chains
+        .iter()
+        .flat_map(|c| c.iter().step_by(97).copied())
+        .collect();
+    assert_order_matches_oracle(&list, &sample, &oracle);
+
+    let stats = list.stats();
+    assert!(stats.splits > 0, "32k inserts must split groups: {stats:?}");
+    assert!(
+        stats.fast_inserts > stats.global_escalations,
+        "fast path must dominate: {stats:?}"
+    );
+    assert!(
+        stats.group_locks >= stats.fast_inserts,
+        "every fast insert holds a group lock: {stats:?}"
+    );
+}
+
+/// All writers hammer the SAME position (right after the base element):
+/// maximal group-lock contention, geometric label-gap exhaustion, forced
+/// splits of the head group, and — because each head split halves the
+/// group-label gap — forced full respreads. Query threads must never
+/// observe the verification chain out of order.
+#[test]
+fn head_hammer_forces_splits_and_respreads_under_queries() {
+    const WRITERS: usize = 4;
+    const READERS: usize = 2;
+    const PER: usize = 8_000;
+
+    let (list, base) = OmList::new();
+    let list = Arc::new(list);
+    let mut chain = vec![base];
+    let mut last = base;
+    for _ in 0..12 {
+        last = list.insert_after(last);
+        chain.push(last);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            let chain = chain.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for w in chain.windows(2) {
+                        assert!(list.precedes(w[0], w[1]));
+                        assert!(!list.precedes(w[1], w[0]));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                for _ in 0..PER {
+                    list.insert_after(base);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    assert_eq!(list.len(), 1 + 12 + WRITERS * PER);
+    let stats = list.stats();
+    assert!(stats.splits > 0, "head hammering must split: {stats:?}");
+    assert!(
+        stats.respreads > 0,
+        "repeated head splits must exhaust group-label gaps: {stats:?}"
+    );
+    // (item-level `relabels` may legitimately stay 0 here: splits respace
+    // the head group's labels every ~GROUP_MAX/2 inserts, well before 63
+    // geometric halvings can exhaust a fresh gap.)
+
+    // The verification chain survived every relabel/split/respread.
+    let oracle = rank_oracle(&list);
+    let chain_ranks: Vec<usize> = chain.iter().map(|h| oracle[&h.index()]).collect();
+    for pair in chain_ranks.windows(2) {
+        assert!(pair[0] < pair[1]);
+    }
+}
+
+/// Writers insert at uniformly random positions of a shared (pre-built)
+/// backbone while queriers compare random backbone pairs; the final order
+/// must agree with the oracle and every query observed during the run is
+/// checked against the *immutable* backbone order.
+#[test]
+fn random_position_inserts_with_concurrent_queries() {
+    const WRITERS: usize = 3;
+    const PER: usize = 4_000;
+
+    let (list, base) = OmList::new();
+    let list = Arc::new(list);
+    let mut backbone = vec![base];
+    let mut last = base;
+    for _ in 0..256 {
+        last = list.insert_after(last);
+        backbone.push(last);
+    }
+    let backbone = Arc::new(backbone);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let querier = {
+        let list = Arc::clone(&list);
+        let stop = Arc::clone(&stop);
+        let backbone = Arc::clone(&backbone);
+        std::thread::spawn(move || {
+            // Deterministic pseudo-random pair walk (no rand in dev-deps
+            // of the integration target needed).
+            let mut x = 0x9E3779B97F4A7C15u64;
+            while !stop.load(Ordering::Relaxed) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let i = (x as usize >> 8) % backbone.len();
+                let j = (x as usize >> 24) % backbone.len();
+                let expect = i.cmp(&j);
+                assert_eq!(
+                    list.order(backbone[i], backbone[j]),
+                    expect,
+                    "backbone order is immutable"
+                );
+            }
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let list = Arc::clone(&list);
+            let backbone = Arc::clone(&backbone);
+            std::thread::spawn(move || {
+                let mut x = 0xD1B54A32D192ED03u64.wrapping_mul(w as u64 + 1) | 1;
+                for _ in 0..PER {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = (x as usize >> 8) % backbone.len();
+                    // Insert after a random backbone element; the new item
+                    // lands somewhere between backbone[i] and backbone[i+1].
+                    list.insert_after(backbone[i]);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    querier.join().unwrap();
+
+    let oracle = rank_oracle(&list);
+    // Backbone stays in order, and random inserts landed inside the right
+    // backbone gaps (checked implicitly: iter_order covers all items and
+    // backbone ranks are strictly increasing).
+    let ranks: Vec<usize> = backbone.iter().map(|h| oracle[&h.index()]).collect();
+    for pair in ranks.windows(2) {
+        assert!(pair[0] < pair[1]);
+    }
+    assert_eq!(oracle.len(), 1 + 256 + WRITERS * PER);
+    assert_order_matches_oracle(&list, &backbone, &oracle);
+}

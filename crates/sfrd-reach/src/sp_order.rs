@@ -87,13 +87,12 @@ impl SpOrder {
     /// state. Thread-safe: concurrent tasks may call this simultaneously.
     pub fn fork(&self, t: &mut SpTask) -> SpTask {
         let u = t.cur;
+        // Each list is updated with ONE combined run insert (a single
+        // group-lock acquisition) instead of one insert per position.
         let (child, cont) = if t.block.is_none() {
             // English: u, c, k, s — Hebrew: u, k, c, s.
-            let (c_eng, k_eng) = self.eng.insert_two_after(u.eng);
-            let s_eng = self.eng.insert_after(k_eng);
-            let c_heb = self.heb.insert_after(u.heb);
-            let k_heb = self.heb.insert_after(u.heb);
-            let s_heb = self.heb.insert_after(c_heb);
+            let [c_eng, k_eng, s_eng] = self.eng.insert_n_after::<3>(u.eng);
+            let [k_heb, c_heb, s_heb] = self.heb.insert_n_after::<3>(u.heb);
             t.block = Some(SpPos {
                 eng: s_eng,
                 heb: s_heb,
@@ -109,9 +108,10 @@ impl SpOrder {
                 },
             )
         } else {
-            let (c_eng, k_eng) = self.eng.insert_two_after(u.eng);
-            let c_heb = self.heb.insert_after(u.heb);
-            let k_heb = self.heb.insert_after(u.heb);
+            // English inserts c, k after u; Hebrew inserts k, c after u
+            // (child subtrees pile up before s, after all continuations).
+            let [c_eng, k_eng] = self.eng.insert_n_after::<2>(u.eng);
+            let [k_heb, c_heb] = self.heb.insert_n_after::<2>(u.heb);
             (
                 SpPos {
                     eng: c_eng,
@@ -164,6 +164,11 @@ impl SpOrder {
     /// Heap bytes of both OM lists (memory reporting).
     pub fn heap_bytes(&self) -> usize {
         self.eng.heap_bytes() + self.heb.heap_bytes()
+    }
+
+    /// Combined contention counters of both OM lists.
+    pub fn om_stats(&self) -> sfrd_om::OmStats {
+        self.eng.stats().merge(self.heb.stats())
     }
 
     /// Number of distinct strand positions allocated.
@@ -293,5 +298,10 @@ mod tests {
         assert_eq!(sp.positions(), 4); // c, k, s added
         sp.fork(&mut root);
         assert_eq!(sp.positions(), 6); // c, k added
+                                       // Each fork paid ONE insert op per list (run inserts), none of
+                                       // which escalated to the global lock.
+        let stats = sp.om_stats();
+        assert_eq!(stats.fast_inserts, 4);
+        assert_eq!(stats.global_escalations, 0);
     }
 }

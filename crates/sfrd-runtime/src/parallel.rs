@@ -51,11 +51,31 @@ struct Shared<H: TaskHooks> {
 }
 
 impl<H: TaskHooks> Shared<H> {
-    /// Wake sleepers if any are registered. Cheap when nobody sleeps.
+    /// Wake all sleepers if any are registered. Cheap when nobody sleeps:
+    /// one relaxed load on the caller's hot path. Relaxed is enough — a
+    /// stale zero can only miss a sleeper that registered concurrently,
+    /// and the 200µs bounded sleep in [`Shared::wait_notification`]
+    /// already covers that register-vs-notify race (the previous `SeqCst`
+    /// load paid a fence per task push without closing it either).
     #[inline]
     fn notify(&self) {
-        if self.parked.load(Ordering::SeqCst) > 0 {
+        if self.parked.load(Ordering::Relaxed) > 0 {
             self.force_notify();
+        }
+    }
+
+    /// Wake at most one sleeper. Used on the task-push path: one new job
+    /// needs one worker, and any woken worker can claim it via
+    /// [`WorkerCore::find_job`]. Completion events keep the broadcast
+    /// [`Shared::notify`] — several `help_until` waiters may each be
+    /// blocked on a *different* child's completion, and `notify_one`
+    /// could wake the wrong one.
+    #[inline]
+    fn notify_one(&self) {
+        if self.parked.load(Ordering::Relaxed) > 0 {
+            let mut e = self.epoch.lock();
+            *e = e.wrapping_add(1);
+            self.cv.notify_one();
         }
     }
 
@@ -131,7 +151,7 @@ impl<H: TaskHooks> WorkerCore<H> {
     fn push(&self, job: Job<H>) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
         self.local.push(job);
-        self.shared.notify();
+        self.shared.notify_one();
     }
 
     /// Run one job with panic capture and completion bookkeeping.

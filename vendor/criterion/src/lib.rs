@@ -65,7 +65,10 @@ fn report(id: &str, times: &[Duration]) {
     let min = times.iter().min().unwrap();
     let total: Duration = times.iter().sum();
     let mean = total / times.len() as u32;
-    println!("{id:<48} min {min:>12.3?}   mean {mean:>12.3?}   samples {}", times.len());
+    println!(
+        "{id:<48} min {min:>12.3?}   mean {mean:>12.3?}   samples {}",
+        times.len()
+    );
 }
 
 /// A named group of related benchmarks.
@@ -112,7 +115,10 @@ impl Default for Criterion {
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .filter(|a| !a.is_empty());
-        Self { filter, default_samples: 10 }
+        Self {
+            filter,
+            default_samples: 10,
+        }
     }
 }
 
@@ -128,7 +134,10 @@ impl Criterion {
                 return;
             }
         }
-        let mut b = Bencher { samples, times: Vec::new() };
+        let mut b = Bencher {
+            samples,
+            times: Vec::new(),
+        };
         f(&mut b);
         report(id, &b.times);
     }
@@ -143,7 +152,11 @@ impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.default_samples;
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
     }
 }
 
@@ -177,7 +190,10 @@ mod tests {
 
     #[test]
     fn bench_function_runs() {
-        let mut c = Criterion { filter: None, default_samples: 3 };
+        let mut c = Criterion {
+            filter: None,
+            default_samples: 3,
+        };
         let mut runs = 0usize;
         c.bench_function("t/one", |b| b.iter(|| runs += 1));
         assert!(runs >= 3);
@@ -185,7 +201,10 @@ mod tests {
 
     #[test]
     fn groups_and_batched() {
-        let mut c = Criterion { filter: None, default_samples: 2 };
+        let mut c = Criterion {
+            filter: None,
+            default_samples: 2,
+        };
         let mut g = c.benchmark_group("g");
         g.sample_size(2);
         g.bench_function("batched", |b| {
@@ -196,7 +215,10 @@ mod tests {
 
     #[test]
     fn filter_skips() {
-        let mut c = Criterion { filter: Some("nope".into()), default_samples: 2 };
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+            default_samples: 2,
+        };
         let mut runs = 0usize;
         c.bench_function("t/skipped", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 0);

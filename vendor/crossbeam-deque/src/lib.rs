@@ -42,7 +42,9 @@ pub struct Worker<T> {
 impl<T> Worker<T> {
     /// New LIFO deque (owner pops what it most recently pushed).
     pub fn new_lifo() -> Self {
-        Self { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        Self {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
     }
 
     /// New FIFO deque.
@@ -72,7 +74,9 @@ impl<T> Worker<T> {
 
     /// A stealer handle for this deque.
     pub fn stealer(&self) -> Stealer<T> {
-        Stealer { queue: Arc::clone(&self.queue) }
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
     }
 }
 
@@ -83,7 +87,9 @@ pub struct Stealer<T> {
 
 impl<T> Clone for Stealer<T> {
     fn clone(&self) -> Self {
-        Self { queue: Arc::clone(&self.queue) }
+        Self {
+            queue: Arc::clone(&self.queue),
+        }
     }
 }
 
@@ -111,7 +117,9 @@ impl<T> Default for Injector<T> {
 impl<T> Injector<T> {
     /// New empty injector.
     pub fn new() -> Self {
-        Self { queue: Mutex::new(VecDeque::new()) }
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
     }
 
     /// Push a task onto the queue.

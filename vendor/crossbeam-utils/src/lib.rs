@@ -26,7 +26,10 @@ pub mod atomic {
     impl<T> AtomicCell<T> {
         /// Create a cell holding `value`.
         pub const fn new(value: T) -> Self {
-            Self { busy: AtomicBool::new(false), value: UnsafeCell::new(value) }
+            Self {
+                busy: AtomicBool::new(false),
+                value: UnsafeCell::new(value),
+            }
         }
 
         #[inline]

@@ -162,12 +162,65 @@ fn om_contention(c: &mut Criterion) {
     g.finish();
 }
 
+/// The paged-shadow ablation (DESIGN.md §6): SF-Order full detection on
+/// the mutex-sharded store vs the lock-free direct-mapped page table,
+/// across worker counts. The shadow counters are reported once per
+/// configuration before the timing loop: `lock_ops` collapses to the
+/// fallback-map traffic (~0 on these benchmarks' real heap addresses)
+/// under `paged`, which is the >=10x insert-path lock reduction claim,
+/// and `fast_hits`/`cas_retries`/`page_allocs` size the new machinery.
+fn shadow_paging(c: &mut Criterion) {
+    use sfrd_core::ShadowBackend;
+
+    let mut g = c.benchmark_group("ablation/shadow_paging");
+    g.sample_size(10);
+    for name in ["sw", "hw"] {
+        for workers in [1usize, 2, 4, 8] {
+            for (label, shadow) in [
+                ("sharded", ShadowBackend::Sharded),
+                ("paged", ShadowBackend::Paged),
+            ] {
+                let w = make_bench(name, Scale::Small, 1);
+                let cfg = DriveConfig {
+                    shadow,
+                    policy: ReaderPolicy::PerFutureLR,
+                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                };
+                let rep = drive(&w, cfg).report.expect("Full mode returns a report");
+                let m = &rep.metrics;
+                eprintln!(
+                    "shadow_paging/{name}/{workers}w/{label}: lock_ops={} fast_hits={} \
+                     cas_retries={} page_allocs={} races={}",
+                    m.lock_ops,
+                    m.shadow_fast_hits,
+                    m.shadow_cas_retries,
+                    m.page_allocs,
+                    rep.total_races,
+                );
+                g.bench_function(format!("{name}/{workers}w/{label}"), |b| {
+                    b.iter(|| {
+                        let w = make_bench(name, Scale::Small, 1);
+                        let cfg = DriveConfig {
+                            shadow,
+                            policy: ReaderPolicy::PerFutureLR,
+                            ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                        };
+                        black_box(drive(&w, cfg));
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     ablation,
     reader_policy,
     gp_representation,
     access_fast_path,
     shadow_batching,
-    om_contention
+    om_contention,
+    shadow_paging
 );
 criterion_main!(ablation);

@@ -10,16 +10,21 @@
 //! machine-independent. EXPERIMENTS.md discusses the mapping to the
 //! paper's 20-core numbers.
 //!
-//! `--json` additionally writes `BENCH_fig4.json` (`--json-out PATH` to
-//! override): every timed cell with its wall time and — for detector
-//! configs — the metrics snapshot of the final repetition (shadow-lock,
-//! batching, and OM-contention counters). The committed snapshot is the
-//! machine-tracked perf trajectory across PRs.
+//! `--json` maintains `BENCH_fig4.json` (`--json-out PATH` to override)
+//! as a **trajectory**: a schema-2 document whose `snapshots` array gets
+//! one entry appended per invocation — every timed cell with its wall
+//! time and, for detector configs, the metrics snapshot of the final
+//! repetition (shadow-lock, fast-path, batching, and OM-contention
+//! counters). `--json-label` names the snapshot; `--shadow` selects the
+//! shadow backend so sharded-vs-paged snapshots can sit side by side. A
+//! legacy schema-1 file (one bare snapshot object) is migrated in place
+//! on first append. The committed trajectory is the machine-tracked perf
+//! record across PRs.
 
 use sfrd_bench::{
     fig4_grid, report_json, run_bench_cell, times, work_span, HarnessArgs, Json, Table, TimedCell,
 };
-use sfrd_core::{DetectorKind, DriveConfig};
+use sfrd_core::DetectorKind;
 
 fn cell_json(config: &str, workers: usize, cell: &TimedCell) -> Json {
     let metrics = match &cell.report {
@@ -34,14 +39,55 @@ fn cell_json(config: &str, workers: usize, cell: &TimedCell) -> Json {
         .field("metrics", metrics)
 }
 
+/// Append `snap` to the schema-2 trajectory at `path`, creating the
+/// document if absent and migrating a legacy schema-1 file (a single bare
+/// snapshot object) by wrapping it as the first snapshot. There is no
+/// vendored JSON parser, so this splices textually — sound because the
+/// renderer's layout is fixed (two-space indent, `]\n}\n` tail).
+fn append_snapshot(path: &str, snap: Json) {
+    const TAIL: &str = "\n  ]\n}\n";
+    let reindent = |text: &str| -> String {
+        text.trim_end()
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .trim_start()
+            .to_string()
+    };
+    let fresh = |snapshots: Vec<String>| {
+        let body: Vec<String> = snapshots.iter().map(|s| format!("    {s}")).collect();
+        format!(
+            "{{\n  \"schema\": 2,\n  \"figure\": \"fig4\",\n  \"snapshots\": [\n{}{TAIL}",
+            body.join(",\n")
+        )
+    };
+    let rendered = reindent(&snap.render());
+    let doc = match std::fs::read_to_string(path) {
+        Err(_) => fresh(vec![rendered]),
+        Ok(existing) if existing.contains("\"schema\": 2") => {
+            let body = existing.strip_suffix(TAIL).unwrap_or_else(|| {
+                panic!("{path}: schema-2 trajectory has an unexpected layout; refusing to splice")
+            });
+            format!("{body},\n    {rendered}{TAIL}")
+        }
+        Ok(legacy) => {
+            // Schema-1: one bare snapshot object — keep it as history.
+            fresh(vec![reindent(&legacy), rendered])
+        }
+    };
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     let p = args.workers;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let shadow = format!("{:?}", args.shadow).to_lowercase();
     println!(
-        "# Figure 4: execution times (scale: {:?}, P = {p}, cores = {cores}, reps = {})",
+        "# Figure 4: execution times (scale: {:?}, P = {p}, cores = {cores}, reps = {}, shadow = {shadow})",
         args.scale, args.reps
     );
     if cores < p {
@@ -58,8 +104,8 @@ fn main() {
         let parallelism = work as f64 / span.max(1) as f64;
         let mut rows: Vec<Json> = Vec::new();
 
-        let base1 = run_bench_cell(name, args.scale, DriveConfig::base(1), args.reps);
-        let basep = run_bench_cell(name, args.scale, DriveConfig::base(p), args.reps);
+        let base1 = run_bench_cell(name, args.scale, sfrd_core::DriveConfig::base(1), args.reps);
+        let basep = run_bench_cell(name, args.scale, sfrd_core::DriveConfig::base(p), args.reps);
         rows.push(cell_json("base", 1, &base1));
         rows.push(cell_json("base", p, &basep));
         t.row(vec![
@@ -75,23 +121,13 @@ fn main() {
         ]);
 
         for (label, kind, mode) in fig4_grid() {
-            let t1 = run_bench_cell(
-                name,
-                args.scale,
-                DriveConfig::with(kind, mode, 1),
-                args.reps,
-            );
+            let t1 = run_bench_cell(name, args.scale, args.cfg(kind, mode, 1), args.reps);
             rows.push(cell_json(label, 1, &t1));
             let (tp_cell, ovhp, scal) = if kind == DetectorKind::MultiBags {
                 // Sequential-only: no parallel column.
                 ("-".to_string(), "-".to_string(), "-".to_string())
             } else {
-                let tp = run_bench_cell(
-                    name,
-                    args.scale,
-                    DriveConfig::with(kind, mode, p),
-                    args.reps,
-                );
+                let tp = run_bench_cell(name, args.scale, args.cfg(kind, mode, p), args.reps);
                 let row = (
                     fmt_s(tp.timing.mean),
                     times(tp.timing.mean / basep.timing.mean),
@@ -123,14 +159,18 @@ fn main() {
     }
     print!("{}", t.render());
     if let Some(path) = &args.json {
-        let doc = Json::obj()
-            .field("schema", 1u64)
-            .field("figure", "fig4")
+        let label = args
+            .json_label
+            .clone()
+            .unwrap_or_else(|| format!("{:?}-{shadow}-w{p}", args.scale).to_lowercase());
+        let snap = Json::obj()
+            .field("label", label)
             .field("scale", format!("{:?}", args.scale).to_lowercase())
             .field("workers", p)
             .field("reps", args.reps)
+            .field("shadow", shadow.as_str())
             .field("benches", bench_objects);
-        std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        eprintln!("wrote {path}");
+        append_snapshot(path, snap);
+        eprintln!("appended snapshot to {path}");
     }
 }

@@ -3,9 +3,15 @@
 //! inputs land in KB/MB — the *ratio* is the reproduced claim: SF-Order's
 //! bitmap `gp`/`cp` tables are a small percentage of F-Order's per-node
 //! hash tables).
+//!
+//! A second table reports the **access-history** footprint (Full mode,
+//! SF-Order) on both shadow backends. The accounting is capacity-based
+//! on both sides (hash-table capacity × entry size for sharded; page
+//! directory + arena slabs + fallback for paged), so the paged table's
+//! direct-mapped overcommit is charged honestly against the hash maps.
 
 use sfrd_bench::{run_bench, HarnessArgs, Table};
-use sfrd_core::{DetectorKind, DriveConfig, Mode};
+use sfrd_core::{DetectorKind, DriveConfig, Mode, ShadowBackend};
 
 fn fmt_bytes(b: usize) -> String {
     if b >= 1 << 30 {
@@ -59,4 +65,32 @@ fn main() {
         );
         println!("(paper: 1.29% of F-Order's usage on average, Fig. 5)");
     }
+
+    println!();
+    println!("# Access-history memory (SF-Order, full detection): sharded vs paged shadow");
+    let mut h = Table::new(&["bench", "sharded", "paged", "paged/sharded"]);
+    for name in &args.benches {
+        let mut bytes = [0usize; 2];
+        for (i, backend) in [ShadowBackend::Sharded, ShadowBackend::Paged]
+            .into_iter()
+            .enumerate()
+        {
+            let (out, _) = run_bench(
+                name,
+                args.scale,
+                DriveConfig {
+                    shadow: backend,
+                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
+                },
+            );
+            bytes[i] = out.report.unwrap().history_bytes;
+        }
+        h.row(vec![
+            name.clone(),
+            fmt_bytes(bytes[0]),
+            fmt_bytes(bytes[1]),
+            format!("{:.2}x", bytes[1] as f64 / bytes[0].max(1) as f64),
+        ]);
+    }
+    print!("{}", h.render());
 }

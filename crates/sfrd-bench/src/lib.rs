@@ -23,7 +23,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sfrd_core::{
-    drive, DetectorKind, DriveConfig, Mode, Outcome, RaceReport, RecordingHooks, Workload,
+    drive, DetectorKind, DriveConfig, Mode, Outcome, RaceReport, RecordingHooks, ShadowBackend,
+    Workload,
 };
 use sfrd_runtime::run_sequential;
 use sfrd_workloads::{make_bench, AnyBench, Scale, BENCH_NAMES};
@@ -44,6 +45,10 @@ pub struct HarnessArgs {
     /// Machine-readable output path (`--json`, default `BENCH_fig4.json`;
     /// override with `--json-out PATH`). `None` = human table only.
     pub json: Option<String>,
+    /// Snapshot label recorded in the JSON trajectory (`--json-label`).
+    pub json_label: Option<String>,
+    /// Shadow-memory backend (`--shadow sharded|paged`; default paged).
+    pub shadow: ShadowBackend,
 }
 
 impl HarnessArgs {
@@ -55,6 +60,8 @@ impl HarnessArgs {
         let mut benches: Vec<String> = Vec::new();
         let mut reps = 1usize;
         let mut json = None;
+        let mut json_label = None;
+        let mut shadow = ShadowBackend::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -95,6 +102,19 @@ impl HarnessArgs {
                             .unwrap_or_else(|| usage("missing --json-out path")),
                     );
                 }
+                "--json-label" => {
+                    json_label = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("missing --json-label name")),
+                    );
+                }
+                "--shadow" => {
+                    shadow = match args.next().as_deref() {
+                        Some("sharded") => ShadowBackend::Sharded,
+                        Some("paged") => ShadowBackend::Paged,
+                        other => usage(&format!("bad --shadow {other:?}")),
+                    }
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -108,6 +128,16 @@ impl HarnessArgs {
             benches,
             reps,
             json,
+            json_label,
+            shadow,
+        }
+    }
+
+    /// A detector configuration honoring the harness's backend selection.
+    pub fn cfg(&self, kind: DetectorKind, mode: Mode, workers: usize) -> DriveConfig {
+        DriveConfig {
+            shadow: self.shadow,
+            ..DriveConfig::with(kind, mode, workers)
         }
     }
 }
@@ -118,7 +148,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale small|medium|paper] [--workers N] [--reps N] \
-         [--bench mm|sort|sw|hw|ferret]... [--json] [--json-out PATH]"
+         [--bench mm|sort|sw|hw|ferret]... [--shadow sharded|paged] \
+         [--json] [--json-out PATH] [--json-label NAME]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -229,6 +260,9 @@ pub fn report_json(rep: &RaceReport) -> Json {
         .field("om_group_locks", rep.metrics.om_group_locks)
         .field("om_global_escalations", rep.metrics.om_global_escalations)
         .field("om_query_retries", rep.metrics.om_query_retries)
+        .field("shadow_fast_hits", rep.metrics.shadow_fast_hits)
+        .field("shadow_cas_retries", rep.metrics.shadow_cas_retries)
+        .field("page_allocs", rep.metrics.page_allocs)
 }
 
 /// Work and span of the recorded dag (node weights = instrumented

@@ -25,7 +25,7 @@ use parking_lot::Mutex;
 use sfrd_reach::{
     FoReach, FoStrand, MbPos, MbReach, MbStrand, SfPos, SfReach, SfStrand, StrandPos,
 };
-use sfrd_shadow::ReaderPolicy;
+use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
 use crate::events::{EventSink, ReachEngine};
 
@@ -149,7 +149,12 @@ impl SfDetector {
     /// Build a one-shot detector. `policy` selects the §3.5 bounded reader
     /// set or the ship-it-all variant the paper's implementation uses.
     pub fn new(mode: Mode, policy: ReaderPolicy) -> Self {
-        EventSink::build(SfEngine::new(), mode, policy)
+        Self::with_backend(mode, policy, ShadowBackend::default())
+    }
+
+    /// [`new`](Self::new) with an explicit shadow-memory backend.
+    pub fn with_backend(mode: Mode, policy: ReaderPolicy, backend: ShadowBackend) -> Self {
+        EventSink::build(SfEngine::new(), mode, policy, backend)
     }
 
     /// Reachability engine (diagnostics).
@@ -219,7 +224,12 @@ impl FoDetector {
     /// Build a one-shot detector. F-Order cannot bound readers, so the
     /// policy is always [`ReaderPolicy::All`].
     pub fn new(mode: Mode) -> Self {
-        EventSink::build(FoEngine::new(), mode, ReaderPolicy::All)
+        Self::with_backend(mode, ShadowBackend::default())
+    }
+
+    /// [`new`](Self::new) with an explicit shadow-memory backend.
+    pub fn with_backend(mode: Mode, backend: ShadowBackend) -> Self {
+        EventSink::build(FoEngine::new(), mode, ReaderPolicy::All, backend)
     }
 
     /// Reachability engine (diagnostics).
@@ -292,6 +302,11 @@ pub type MbDetector = EventSink<MbEngine>;
 impl MbDetector {
     /// Build a one-shot detector.
     pub fn new(mode: Mode) -> Self {
-        EventSink::build(MbEngine::new(), mode, ReaderPolicy::All)
+        Self::with_backend(mode, ShadowBackend::default())
+    }
+
+    /// [`new`](Self::new) with an explicit shadow-memory backend.
+    pub fn with_backend(mode: Mode, backend: ShadowBackend) -> Self {
+        EventSink::build(MbEngine::new(), mode, ReaderPolicy::All, backend)
     }
 }

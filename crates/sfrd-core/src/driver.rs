@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sfrd_runtime::{run_sequential, Cx, NullHooks, Runtime};
-use sfrd_shadow::ReaderPolicy;
+use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
 use crate::detectors::{FoDetector, MbDetector, Mode, SfDetector};
 use crate::report::RaceReport;
@@ -54,6 +54,10 @@ pub struct DriveConfig {
     /// ablation baseline. Ignored in `Reach` mode (no access work either
     /// way).
     pub batched: bool,
+    /// Which shadow-memory store backs the access history. The lock-free
+    /// paged table is the default; the legacy sharded store is kept for
+    /// differential testing and the `shadow_paging` ablation.
+    pub shadow: ShadowBackend,
 }
 
 impl DriveConfig {
@@ -66,6 +70,7 @@ impl DriveConfig {
             sequential: false,
             policy: ReaderPolicy::All,
             batched: true,
+            shadow: ShadowBackend::default(),
         }
     }
 
@@ -79,6 +84,7 @@ impl DriveConfig {
             sequential: matches!(detector, DetectorKind::MultiBags),
             policy: ReaderPolicy::All,
             batched: true,
+            shadow: ShadowBackend::default(),
         }
     }
 }
@@ -162,16 +168,20 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
             let wall = timed(w, Arc::new(NullHooks), &cfg);
             Outcome { wall, report: None }
         }
-        DetectorKind::SfOrder => detector_arm!(|m| SfDetector::new(m, cfg.policy)),
-        DetectorKind::FOrder => detector_arm!(FoDetector::new),
-        DetectorKind::WspOrder => detector_arm!(|m| WspDetector::new(m, cfg.policy)),
+        DetectorKind::SfOrder => {
+            detector_arm!(|m| SfDetector::with_backend(m, cfg.policy, cfg.shadow))
+        }
+        DetectorKind::FOrder => detector_arm!(|m| FoDetector::with_backend(m, cfg.shadow)),
+        DetectorKind::WspOrder => {
+            detector_arm!(|m| WspDetector::with_backend(m, cfg.policy, cfg.shadow))
+        }
         DetectorKind::MultiBags => {
             assert!(
                 cfg.sequential,
                 "MultiBags requires the sequential runtime (its SP-bags invariant \
                  only holds for the serial depth-first execution)"
             );
-            detector_arm!(MbDetector::new)
+            detector_arm!(|m| MbDetector::with_backend(m, cfg.shadow))
         }
     }
 }
@@ -228,6 +238,16 @@ mod tests {
             DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2),
             DriveConfig {
                 policy: sfrd_shadow::ReaderPolicy::PerFutureLR,
+                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
+            },
+            DriveConfig {
+                shadow: ShadowBackend::Sharded,
+                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
+            },
+            DriveConfig {
+                shadow: ShadowBackend::Sharded,
+                policy: sfrd_shadow::ReaderPolicy::PerFutureLR,
+                batched: false,
                 ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
             },
             DriveConfig::with(DetectorKind::FOrder, Mode::Full, 1),

@@ -11,15 +11,17 @@
 //!
 //! The sink speaks both access protocols of `sfrd-runtime`:
 //!
-//! * **per-access** (`on_read`/`on_write`): one shadow-shard lock per
-//!   access, exactly the paper's measured hot path;
+//! * **per-access** (`on_read`/`on_write`): one shadow access per call —
+//!   a shard lock on the sharded backend, a lock-free slot section (or the
+//!   zero-store read fast path) on the paged one;
 //! * **per-batch** (`on_access_batch`, fed by
 //!   [`Batched`](sfrd_runtime::Batched)): the buffered accesses — all
-//!   issued at one dag position — are stable-sorted by shadow shard and
-//!   processed under **one shard lock per touched shard**, and the
-//!   strand's [`VerdictCache`] skips reachability queries against writers
-//!   whose epoch has not changed (the seqlock-style fast path; see the
-//!   `sfrd-shadow` crate docs for the soundness argument).
+//!   issued at one dag position — replay through the backend's batch
+//!   entry point (sorted shard views on the sharded backend, a page
+//!   cursor on the paged one), and the strand's [`VerdictCache`] skips
+//!   reachability queries against writers whose epoch has not changed
+//!   (the seqlock-style fast path; see the `sfrd-shadow` crate docs for
+//!   the soundness argument).
 //!
 //! Both paths funnel into the same [`check_read`](EventSink::on_read)/
 //! write logic, so batching cannot change which `(addr, kind)` races
@@ -30,7 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use sfrd_runtime::{AccessBatch, TaskHooks, VerdictCache};
-use sfrd_shadow::{AccessHistory, LocEntry, ReaderPolicy};
+use sfrd_shadow::{AccessHistory, LocEntry, PageCursor, ReaderPolicy, ShadowBackend};
 
 use crate::detectors::Mode;
 use crate::report::{Counters, MetricsSnapshot, RaceCollector, RaceKind, RaceReport};
@@ -110,13 +112,19 @@ pub struct EventSink<E: ReachEngine> {
 }
 
 impl<E: ReachEngine> EventSink<E> {
-    /// Couple `engine` (with its root strand) to a fresh access history.
-    pub(crate) fn build(engine: (E, E::Strand), mode: Mode, policy: ReaderPolicy) -> Self {
+    /// Couple `engine` (with its root strand) to a fresh access history on
+    /// the selected shadow backend.
+    pub(crate) fn build(
+        engine: (E, E::Strand),
+        mode: Mode,
+        policy: ReaderPolicy,
+        backend: ShadowBackend,
+    ) -> Self {
         let (engine, root) = engine;
         Self {
             engine,
             root: Mutex::new(Some(root)),
-            history: matches!(mode, Mode::Full).then(|| AccessHistory::with_policy(policy)),
+            history: matches!(mode, Mode::Full).then(|| AccessHistory::new(policy, backend)),
             collector: RaceCollector::default(),
             counters: Counters::default(),
             seqlock_hits: AtomicU64::new(0),
@@ -154,6 +162,9 @@ impl<E: ReachEngine> EventSink<E> {
                     om_group_locks: om.group_locks,
                     om_global_escalations: om.global_escalations,
                     om_query_retries: om.query_retries,
+                    shadow_fast_hits: self.history.as_ref().map_or(0, |h| h.fast_hits()),
+                    shadow_cas_retries: self.history.as_ref().map_or(0, |h| h.cas_retries()),
+                    page_allocs: self.history.as_ref().map_or(0, |h| h.page_allocs()),
                     ..MetricsSnapshot::default()
                 }
             },
@@ -249,6 +260,61 @@ impl<E: ReachEngine> EventSink<E> {
             v.store(addr, e.writer_seq);
         }
     }
+
+    /// The zero-store read fast path (paged backend): attempt to prove the
+    /// read redundant from one validated snapshot — no lock, no store to
+    /// the shadow entry. The reader side is decided by the LR no-op test
+    /// inside [`PageCursor::fast_read`]; the writer side is decided here,
+    /// with the same ladder as [`check_read`](Self::check_read) minus the
+    /// mutation: same-position, then the epoch-keyed verdict cache, then a
+    /// direct reachability query (whose positive verdict is cached
+    /// strand-locally — still nothing written to the entry). A negative
+    /// verdict (a race) returns `false` so the caller's locked path
+    /// re-derives and reports exactly once.
+    fn fast_read(
+        &self,
+        cur: &mut PageCursor<'_, E::Pos>,
+        addr: u64,
+        fut: u32,
+        pos: E::Pos,
+        s: &E::Strand,
+        mut verdicts: Option<&mut VerdictCache>,
+    ) -> bool {
+        let eng = &self.engine;
+        let hit = cur.fast_read(
+            addr,
+            fut,
+            pos,
+            |a, b| eng.eng_less(a, b),
+            |a, b| eng.heb_less(a, b),
+            |a, b| eng.pos_precedes(a, b),
+            |w, wseq| match w {
+                None => true,
+                Some(w) if w == pos => true,
+                Some(w) => {
+                    if verdicts.as_deref_mut().is_some_and(|v| v.check(addr, wseq)) {
+                        self.seqlock_hits.fetch_add(1, Ordering::Relaxed);
+                        true
+                    } else {
+                        Counters::bump(&self.counters.queries);
+                        if self.engine.precedes(w, s) {
+                            if let Some(v) = verdicts {
+                                v.store(addr, wseq);
+                            }
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                }
+            },
+        );
+        if hit {
+            // The access happened: Fig. 3 counts stay path-invariant.
+            Counters::bump(&self.counters.reads);
+        }
+        hit
+    }
 }
 
 impl<E: ReachEngine> TaskHooks for EventSink<E> {
@@ -294,6 +360,14 @@ impl<E: ReachEngine> TaskHooks for EventSink<E> {
         let Some(history) = &self.history else { return };
         let pos = E::pos(s);
         let fut = E::future_id(s);
+        if let AccessHistory::Paged(paged) = history {
+            let mut cur = paged.cursor();
+            if self.fast_read(&mut cur, addr, fut, pos, s, None) {
+                return;
+            }
+            cur.locked(addr, |e| self.check_read(e, addr, fut, pos, s, None));
+            return;
+        }
         history.locked(addr, |e| self.check_read(e, addr, fut, pos, s, None));
     }
 
@@ -304,11 +378,18 @@ impl<E: ReachEngine> TaskHooks for EventSink<E> {
         history.locked(addr, |e| self.check_write(e, addr, pos, s, None));
     }
 
-    /// The batched hot path: stable-sort the buffered accesses by shadow
-    /// shard (same address ⇒ same shard, so per-address program order is
-    /// preserved and ascending shard index is the canonical lock order),
-    /// then take each touched shard's lock once and run the shared
-    /// check logic on every access in that shard.
+    /// The batched hot path, per backend:
+    ///
+    /// * **sharded** — stable-sort the buffered accesses by shadow shard
+    ///   (same address ⇒ same shard, so per-address program order is
+    ///   preserved and ascending shard index is the canonical lock order),
+    ///   then take each touched shard's lock once and run the shared check
+    ///   logic on every access in that shard;
+    /// * **paged** — replay in buffer order (per-address program order for
+    ///   free, no sort) through one [`PageCursor`], so runs of same-page
+    ///   addresses skip the directory walk; each read first tries the
+    ///   zero-store fast path, and only state-changing accesses enter a
+    ///   slot's write section. No lock is taken on the mapped path.
     fn on_access_batch(&self, s: &mut E::Strand, batch: &mut AccessBatch) {
         let Some(history) = &self.history else {
             batch.discard();
@@ -323,25 +404,43 @@ impl<E: ReachEngine> TaskHooks for EventSink<E> {
         Counters::add(&self.counters.reads, filtered_reads);
         Counters::add(&self.counters.writes, filtered_writes);
         let (entries, verdicts) = batch.parts();
-        entries.sort_by_key(|a| history.shard_index(a.addr));
-        let mut i = 0;
-        while i < entries.len() {
-            let shard = history.shard_index(entries[i].addr);
-            let mut j = i + 1;
-            while j < entries.len() && history.shard_index(entries[j].addr) == shard {
-                j += 1;
-            }
-            history.with_shard(shard, |view| {
-                for a in &entries[i..j] {
-                    let e = view.entry(a.addr);
+        match history {
+            AccessHistory::Paged(paged) => {
+                let mut cur = paged.cursor();
+                for a in entries.iter() {
                     if a.is_write {
-                        self.check_write(e, a.addr, pos, s, Some(&mut *verdicts));
-                    } else {
-                        self.check_read(e, a.addr, fut, pos, s, Some(&mut *verdicts));
+                        cur.locked(a.addr, |e| {
+                            self.check_write(e, a.addr, pos, s, Some(&mut *verdicts))
+                        });
+                    } else if !self.fast_read(&mut cur, a.addr, fut, pos, s, Some(&mut *verdicts)) {
+                        cur.locked(a.addr, |e| {
+                            self.check_read(e, a.addr, fut, pos, s, Some(&mut *verdicts))
+                        });
                     }
                 }
-            });
-            i = j;
+            }
+            AccessHistory::Sharded(sharded) => {
+                entries.sort_by_key(|a| sharded.shard_index(a.addr));
+                let mut i = 0;
+                while i < entries.len() {
+                    let shard = sharded.shard_index(entries[i].addr);
+                    let mut j = i + 1;
+                    while j < entries.len() && sharded.shard_index(entries[j].addr) == shard {
+                        j += 1;
+                    }
+                    sharded.with_shard(shard, |view| {
+                        for a in &entries[i..j] {
+                            let e = view.entry(a.addr);
+                            if a.is_write {
+                                self.check_write(e, a.addr, pos, s, Some(&mut *verdicts));
+                            } else {
+                                self.check_read(e, a.addr, fut, pos, s, Some(&mut *verdicts));
+                            }
+                        }
+                    });
+                    i = j;
+                }
+            }
         }
         entries.clear();
     }

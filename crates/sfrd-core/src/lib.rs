@@ -63,7 +63,7 @@ pub use wsp::{WspDetector, WspEngine, WspStrand};
 
 // Re-exports so downstream users need only this crate.
 pub use sfrd_runtime::{BatchStats, Batched, Cx, FutureHandle, NullHooks, Runtime, TaskHooks};
-pub use sfrd_shadow::ReaderPolicy;
+pub use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
 /// A detector strand — alias used in the facade prelude.
 pub type Strand = sfrd_reach::SfStrand;

@@ -166,6 +166,14 @@ pub struct MetricsSnapshot {
     pub om_global_escalations: u64,
     /// OM order-query seqlock retries.
     pub om_query_retries: u64,
+    /// Shadow reads completed on the zero-store fast path (paged backend;
+    /// 0 on the sharded backend).
+    pub shadow_fast_hits: u64,
+    /// Shadow per-slot seqlock CAS retries plus fast-path snapshot
+    /// validation failures (paged backend contention signal).
+    pub shadow_cas_retries: u64,
+    /// Shadow pages published into the page directory (paged backend).
+    pub page_allocs: u64,
 }
 
 impl MetricsSnapshot {

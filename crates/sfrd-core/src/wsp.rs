@@ -93,7 +93,16 @@ impl WspDetector {
     /// the leftmost/rightmost pair — [`ReaderPolicy::PerFutureLR`] with a
     /// single "future" (the whole SP-dag) degenerates to exactly that.
     pub fn new(mode: Mode, policy: ReaderPolicy) -> Self {
-        EventSink::build(WspEngine::new(), mode, policy)
+        Self::with_backend(mode, policy, sfrd_shadow::ShadowBackend::default())
+    }
+
+    /// [`new`](Self::new) with an explicit shadow-memory backend.
+    pub fn with_backend(
+        mode: Mode,
+        policy: ReaderPolicy,
+        backend: sfrd_shadow::ShadowBackend,
+    ) -> Self {
+        EventSink::build(WspEngine::new(), mode, policy, backend)
     }
 }
 

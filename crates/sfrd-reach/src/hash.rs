@@ -3,7 +3,7 @@
 //! F-Order's per-node tables are keyed by dense `FutureId`s; SipHash would
 //! dominate their cost and distort the comparison with SF-Order's bitmaps.
 //! This is the standard `FxHasher` word-mix, implemented locally to stay
-//! within the approved dependency set (DESIGN.md §6).
+//! within the approved dependency set (DESIGN.md §7).
 
 use std::hash::{BuildHasherDefault, Hasher};
 

@@ -8,7 +8,7 @@
 //! paper's Fig. 4 measures (lowest T1 overhead, zero scalability).
 //!
 //! We implement it as the union-find specialization of the SF-Order query
-//! structure (DESIGN.md §6): SP-bags over the pseudo-SP-dag answers the
+//! structure (DESIGN.md §7): SP-bags over the pseudo-SP-dag answers the
 //! `u ↠ v` cases of Algorithm 1, and the same `cp`/`gp` bitmaps (updated
 //! without synchronization) answer the cross-future case.
 //!

@@ -1,6 +1,6 @@
 //! The work-stealing parallel runtime.
 //!
-//! Stands in for the paper's extended Cilk-F runtime (DESIGN.md §6): a
+//! Stands in for the paper's extended Cilk-F runtime (DESIGN.md §7): a
 //! fixed pool of workers with per-worker LIFO deques (crossbeam-deque),
 //! child-stealing (`spawn`/`create` push the child; the continuation keeps
 //! running), and *work-helping* joins — a task blocked at `sync`/`get`

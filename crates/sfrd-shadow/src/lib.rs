@@ -1,37 +1,27 @@
-//! # sfrd-shadow — sharded, batch-lockable access-history shadow memory
+//! # sfrd-shadow — access-history shadow memory (sharded and paged backends)
 //!
 //! The second half of an on-the-fly race detector (§3.5, §4): for every
 //! memory location, remember enough previous accessors that a later
 //! conflicting access can be checked against them.
 //!
-//! ## Architecture: shards × batches × writer epochs
+//! Two interchangeable stores implement the access history, selected by
+//! [`ShadowBackend`]:
 //!
-//! The table is split into a power-of-two number of **address shards**,
-//! each a hash map keyed by address under its own mutex. A shard — not a
-//! location — is the locking unit, which gives the access path two modes:
+//! * [`ShardedHistory`] (module [`sharded`]'s legacy design, PR 1) —
+//!   mutex-sharded hash maps with per-batch lock amortization. Kept as the
+//!   differential-testing baseline and ablation reference.
+//! * [`PagedHistory`] (module [`paged`], the default) — a two-level
+//!   direct-mapped page table: addresses resolve in O(1) through an
+//!   atomically-published page directory with **no hashing and no locks**
+//!   on the addressing path, and each location carries a packed atomic
+//!   word (writer epoch + reader-summary tag) giving redundant reads a
+//!   **zero-store fast path**. Only state-changing accesses take the
+//!   per-location seqlock-style write section.
 //!
-//! * **per-access** ([`AccessHistory::locked`]): hash the address, take
-//!   its shard lock, run the check/update closure. One lock acquisition
-//!   per instrumented access — the cost structure the paper measures as
-//!   the dominant `full`-configuration overhead (§4), reproduced here and
-//!   counted by [`AccessHistory::lock_ops`].
-//! * **per-batch** ([`AccessHistory::with_shard`] +
-//!   [`AccessHistory::shard_index`]): the caller groups a strand's
-//!   buffered accesses by shard (sorting by [`shard_index`] also yields a
-//!   canonical lock order), takes each touched shard's lock **once**, and
-//!   processes every access that falls in it through the [`ShardView`].
-//!   Lock acquisitions drop from one per access to one per
-//!   (flush × touched shard) — the batching answer to the paper's §6
-//!   question about redesigning the access history to cut
-//!   synchronization.
+//! [`AccessHistory`] is the thin façade the detectors program against; it
+//! dispatches to whichever backend was selected at construction.
 //!
-//! Batching does not change detection verdicts: all accesses in a batch
-//! were issued at one dag position, so a deferred check observes either
-//! the same shadow state a per-access check would have, or the state of
-//! an adjacent legal schedule of the same dag — and determinacy races are
-//! schedule-independent.
-//!
-//! ## Writer epochs (the seqlock-style fast path)
+//! ## Writer epochs (the seqlock-style verdict cache)
 //!
 //! Every [`LocEntry`] carries a [`writer_seq`](LocEntry::writer_seq)
 //! counter bumped whenever a new writer is installed
@@ -43,7 +33,9 @@
 //! sound because a strand's own positions only advance serially, so a
 //! writer that preceded an earlier position precedes every later one.
 //! The per-strand cache lives in `sfrd-runtime`'s `AccessBatch`; this
-//! crate only maintains the epoch.
+//! crate only maintains the epoch. The paged backend additionally bakes
+//! the epoch into each slot's packed word, which is what lets its read
+//! fast path validate an entire snapshot with one atomic load.
 //!
 //! ## Reader policies
 //!
@@ -61,10 +53,13 @@
 //! crate stays engine-agnostic.
 //!
 //! ```
-//! use sfrd_shadow::{AccessHistory, ReaderPolicy};
+//! use sfrd_shadow::{AccessHistory, ReaderPolicy, ShadowBackend};
 //!
 //! // Positions are detector-specific; here, plain (eng, heb) pairs.
+//! // The default backend is the lock-free paged table: no mutex is ever
+//! // taken on the mapped addressing path, so lock_ops stays 0.
 //! let h: AccessHistory<(u32, u32)> = AccessHistory::with_policy(ReaderPolicy::All);
+//! assert_eq!(h.backend(), ShadowBackend::Paged);
 //! h.locked(0x1000, |entry| {
 //!     assert!(entry.writer.is_none());
 //!     entry.readers.record(
@@ -77,26 +72,28 @@
 //!     entry.begin_write_epoch((3, 3));
 //!     assert!(entry.readers.is_empty());
 //! });
-//! assert_eq!(h.lock_ops(), 1);
+//! assert_eq!(h.lock_ops(), 0);
 //!
-//! // Batch mode: one lock acquisition covers any number of accesses
-//! // that hash to the same shard.
-//! let shard = h.shard_index(0x1000);
-//! h.with_shard(shard, |view| {
-//!     let e = view.entry(0x1000);
-//!     assert_eq!(e.writer, Some((3, 3)));
-//! });
-//! assert_eq!(h.lock_ops(), 2);
+//! // The legacy sharded store is still available for comparison; there,
+//! // every access costs one shard-lock acquisition.
+//! let s: AccessHistory<(u32, u32)> =
+//!     AccessHistory::new(ReaderPolicy::All, ShadowBackend::Sharded);
+//! s.locked(0x1000, |entry| entry.begin_write_epoch((3, 3)));
+//! assert_eq!(s.lock_ops(), 1);
 //! ```
 
 #![warn(missing_docs)]
 
-use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Multiplicative address hasher (locally implemented; see DESIGN.md §6).
+pub mod paged;
+pub mod sharded;
+
+pub use paged::{PageCursor, PagedHistory, MAPPED_BITS, PAGE_SHIFT, PAGE_SLOTS, SLOT_SHIFT};
+pub use sharded::{ShardView, ShardedHistory};
+
+/// Multiplicative address hasher (locally implemented; see DESIGN.md §7).
 #[derive(Default)]
 pub struct AddrHasher(u64);
 
@@ -117,7 +114,18 @@ impl Hasher for AddrHasher {
     }
 }
 
-type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
+pub(crate) type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
+
+/// Which access-history store backs the detector run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShadowBackend {
+    /// Legacy mutex-sharded hash maps (PR 1's batched-shard design).
+    Sharded,
+    /// Lock-free two-level direct-mapped page table with the zero-store
+    /// redundant-read fast path (the default).
+    #[default]
+    Paged,
+}
 
 /// Which readers to retain per location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +146,7 @@ pub enum Readers<P> {
 }
 
 impl<P: Copy> Readers<P> {
-    fn new(policy: ReaderPolicy) -> Self {
+    pub(crate) fn new(policy: ReaderPolicy) -> Self {
         match policy {
             ReaderPolicy::All => Readers::All(Vec::new()),
             ReaderPolicy::PerFutureLR => Readers::PerFuture(Vec::new()),
@@ -214,14 +222,14 @@ impl<P: Copy> Readers<P> {
         }
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         match self {
             Readers::All(v) => v.clear(),
             Readers::PerFuture(v) => v.clear(),
         }
     }
 
-    fn heap_bytes(&self) -> usize {
+    pub(crate) fn heap_bytes(&self) -> usize {
         match self {
             Readers::All(v) => v.capacity() * std::mem::size_of::<P>(),
             Readers::PerFuture(v) => v.capacity() * std::mem::size_of::<(u32, P, P)>(),
@@ -253,160 +261,159 @@ impl<P: Copy> LocEntry<P> {
     }
 }
 
-struct Shard<P> {
-    map: Mutex<AddrMap<LocEntry<P>>>,
-}
-
-/// Sharded access history keyed by address.
-pub struct AccessHistory<P> {
-    shards: Box<[Shard<P>]>,
-    policy: ReaderPolicy,
-    /// Shard-lock acquisitions. In per-access mode this equals the number
-    /// of instrumented accesses — the dominant overhead source identified
-    /// in §4; in batch mode it is one per (flush × touched shard).
-    lock_ops: AtomicU64,
-    mask: u64,
-}
-
 /// Memory-access granularity: one shadow granule covers 16 bytes, matching
 /// the paper's fine-grained locking description.
 pub const GRANULE_SHIFT: u32 = 4;
 
-/// Shard selection hashes the *block* — `1 << BLOCK_SHIFT` contiguous
-/// granules (1 KiB of address space) — not the individual granule.
-/// Hashing the block keeps distant allocations spread across shards, but
-/// preserves spatial locality within one: a strand scanning an array
-/// produces long runs of same-shard accesses, which is what lets a sorted
-/// batch flush amortize one lock over many entries instead of degenerating
-/// to one lock per access.
+/// Shard selection (sharded backend) hashes the *block* — `1 << BLOCK_SHIFT`
+/// contiguous granules (1 KiB of address space) — not the individual
+/// granule. Hashing the block keeps distant allocations spread across
+/// shards, but preserves spatial locality within one: a strand scanning an
+/// array produces long runs of same-shard accesses, which is what lets a
+/// sorted batch flush amortize one lock over many entries instead of
+/// degenerating to one lock per access.
 pub const BLOCK_SHIFT: u32 = 6;
 
-/// One shard of the table, locked once for a whole batch of accesses.
-pub struct ShardView<'a, P> {
-    map: MutexGuard<'a, AddrMap<LocEntry<P>>>,
-    policy: ReaderPolicy,
+/// The access history the detectors program against — a thin façade over
+/// the selected [`ShadowBackend`]. Backend-specific batch entry points
+/// (shard views, page cursors) are reached through [`sharded`](Self::sharded)
+/// / [`paged`](Self::paged).
+// One history exists per detector run (never in collections), so the
+// size gap between the eager paged root and the sharded store is moot.
+#[allow(clippy::large_enum_variant)]
+pub enum AccessHistory<P: Copy + Send> {
+    /// Legacy mutex-sharded store.
+    Sharded(ShardedHistory<P>),
+    /// Lock-free paged store.
+    Paged(PagedHistory<P>),
 }
 
-impl<P: Copy> ShardView<'_, P> {
-    /// The location's entry (created empty if absent). The address must
-    /// hash to this shard — debug-checked by the caller's bookkeeping, not
-    /// here (the map is per-shard, so a foreign address would just create
-    /// an unreachable entry).
-    pub fn entry(&mut self, addr: u64) -> &mut LocEntry<P> {
-        let policy = self.policy;
-        self.map.entry(addr).or_insert_with(|| LocEntry {
-            writer: None,
-            readers: Readers::new(policy),
-            writer_seq: 0,
-        })
-    }
-}
-
-impl<P: Copy + Send> AccessHistory<P> {
-    /// Create a history with `shards` lock stripes (rounded up to a power
-    /// of two).
-    pub fn new(policy: ReaderPolicy, shards: usize) -> Self {
-        let n = shards.next_power_of_two().max(1);
-        let shards = (0..n)
-            .map(|_| Shard {
-                map: Mutex::new(AddrMap::default()),
-            })
-            .collect::<Vec<_>>();
-        Self {
-            shards: shards.into_boxed_slice(),
-            policy,
-            lock_ops: AtomicU64::new(0),
-            mask: (n - 1) as u64,
+impl<P: Copy + Send + PartialEq> AccessHistory<P> {
+    /// Create a history on the given backend.
+    pub fn new(policy: ReaderPolicy, backend: ShadowBackend) -> Self {
+        match backend {
+            ShadowBackend::Sharded => AccessHistory::Sharded(ShardedHistory::with_policy(policy)),
+            ShadowBackend::Paged => AccessHistory::Paged(PagedHistory::with_policy(policy)),
         }
     }
 
-    /// Default sizing: 4096 shards.
+    /// Create a history on the default backend (paged).
     pub fn with_policy(policy: ReaderPolicy) -> Self {
-        Self::new(policy, 4096)
+        Self::new(policy, ShadowBackend::default())
+    }
+
+    /// Which backend this history runs on.
+    pub fn backend(&self) -> ShadowBackend {
+        match self {
+            AccessHistory::Sharded(_) => ShadowBackend::Sharded,
+            AccessHistory::Paged(_) => ShadowBackend::Paged,
+        }
     }
 
     /// The reader-retention policy in force.
     pub fn policy(&self) -> ReaderPolicy {
-        self.policy
+        match self {
+            AccessHistory::Sharded(h) => h.policy(),
+            AccessHistory::Paged(h) => h.policy(),
+        }
     }
 
-    /// Number of shards (always a power of two).
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    /// The sharded backend, if that is what backs this history.
+    pub fn sharded(&self) -> Option<&ShardedHistory<P>> {
+        match self {
+            AccessHistory::Sharded(h) => Some(h),
+            AccessHistory::Paged(_) => None,
+        }
     }
 
-    /// The shard `addr` hashes to — by [`BLOCK_SHIFT`]-aligned block, so
-    /// neighbouring addresses share a shard. Batch flushers sort buffered
-    /// accesses by this index: equal indices share one lock acquisition,
-    /// and ascending order is the canonical lock order (each shard is
-    /// locked at most once per flush, so no deadlock is possible either
-    /// way — the order just keeps the discipline auditable).
-    #[inline]
-    pub fn shard_index(&self, addr: u64) -> usize {
-        let block = addr >> (GRANULE_SHIFT + BLOCK_SHIFT);
-        let mut h = AddrHasher::default();
-        h.write_u64(block);
-        (h.finish() & self.mask) as usize
+    /// The paged backend, if that is what backs this history.
+    pub fn paged(&self) -> Option<&PagedHistory<P>> {
+        match self {
+            AccessHistory::Paged(h) => Some(h),
+            AccessHistory::Sharded(_) => None,
+        }
     }
 
-    /// Take one shard's lock and run `f` on the [`ShardView`]: the
-    /// batch-mode entry point — one `lock_ops` tick covers every entry the
-    /// closure touches.
-    #[inline]
-    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut ShardView<'_, P>) -> R) -> R {
-        self.lock_ops.fetch_add(1, Ordering::Relaxed);
-        let mut view = ShardView {
-            map: self.shards[shard].map.lock(),
-            policy: self.policy,
-        };
-        f(&mut view)
-    }
-
-    /// Run `f` with the location's entry locked (creating it if absent):
-    /// the per-access critical section whose volume the paper identifies
-    /// as the dominant `full`-config cost. One `lock_ops` tick per call.
+    /// Run `f` with the location's entry under that backend's exclusion
+    /// discipline: a shard mutex (sharded) or the per-slot seqlock write
+    /// section (paged — no mutex on the mapped path).
     #[inline]
     pub fn locked<R>(&self, addr: u64, f: impl FnOnce(&mut LocEntry<P>) -> R) -> R {
-        self.with_shard(self.shard_index(addr), |view| f(view.entry(addr)))
+        match self {
+            AccessHistory::Sharded(h) => h.locked(addr, f),
+            AccessHistory::Paged(h) => h.locked(addr, f),
+        }
     }
 
-    /// Total shard-lock acquisitions so far.
+    /// Mutex acquisitions on the access path. For the sharded backend this
+    /// is one per access (or per flush × touched shard when batching); for
+    /// the paged backend only the out-of-range fallback map ever locks, so
+    /// this is ~0 — the headline number of the PR 3 ablation.
     pub fn lock_ops(&self) -> u64 {
-        self.lock_ops.load(Ordering::Relaxed)
+        match self {
+            AccessHistory::Sharded(h) => h.lock_ops(),
+            AccessHistory::Paged(h) => h.lock_ops(),
+        }
+    }
+
+    /// Zero-store fast-path read hits (paged backend only; 0 on sharded).
+    pub fn fast_hits(&self) -> u64 {
+        match self {
+            AccessHistory::Sharded(_) => 0,
+            AccessHistory::Paged(h) => h.fast_hits(),
+        }
+    }
+
+    /// Seqlock CAS retries + fast-path validation failures (paged backend
+    /// only; 0 on sharded).
+    pub fn cas_retries(&self) -> u64 {
+        match self {
+            AccessHistory::Sharded(_) => 0,
+            AccessHistory::Paged(h) => h.cas_retries(),
+        }
+    }
+
+    /// Shadow pages published (paged backend only; 0 on sharded).
+    pub fn page_allocs(&self) -> u64 {
+        match self {
+            AccessHistory::Sharded(_) => 0,
+            AccessHistory::Paged(h) => h.page_allocs(),
+        }
     }
 
     /// Number of tracked locations.
     pub fn locations(&self) -> usize {
-        self.shards.iter().map(|s| s.map.lock().len()).sum()
+        match self {
+            AccessHistory::Sharded(h) => h.locations(),
+            AccessHistory::Paged(h) => h.locations(),
+        }
     }
 
     /// Maximum retained readers over all locations (the §3.5 bound says
     /// ≤ 2k under [`ReaderPolicy::PerFutureLR`]).
     pub fn max_retained_readers(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.map
-                    .lock()
-                    .values()
-                    .map(|e| e.readers.len())
-                    .max()
-                    .unwrap_or(0)
-            })
-            .max()
-            .unwrap_or(0)
+        match self {
+            AccessHistory::Sharded(h) => h.max_retained_readers(),
+            AccessHistory::Paged(h) => h.max_retained_readers(),
+        }
     }
 
-    /// Approximate heap bytes (entries + reader payloads).
+    /// Approximate heap bytes of the store (tables/pages, arena slabs,
+    /// reader payloads) — the Fig. 5 accounting.
     pub fn heap_bytes(&self) -> usize {
-        let entry = std::mem::size_of::<(u64, LocEntry<P>)>() + 8;
-        self.shards
-            .iter()
-            .map(|s| {
-                let m = s.map.lock();
-                m.len() * entry + m.values().map(|e| e.readers.heap_bytes()).sum::<usize>()
-            })
-            .sum()
+        match self {
+            AccessHistory::Sharded(h) => h.heap_bytes(),
+            AccessHistory::Paged(h) => h.heap_bytes(),
+        }
+    }
+
+    /// Visit every `(addr, entry)` pair (diagnostics / differential tests;
+    /// quiescent use only on the paged backend).
+    pub fn for_each_entry(&self, f: impl FnMut(u64, &LocEntry<P>)) {
+        match self {
+            AccessHistory::Sharded(h) => h.for_each_entry(f),
+            AccessHistory::Paged(h) => h.for_each_entry(f),
+        }
     }
 }
 
@@ -426,78 +433,275 @@ mod tests {
         a != b && a.0 < b.0 && a.1 < b.1
     }
 
+    fn both_backends(policy: ReaderPolicy) -> [AccessHistory<Pos>; 2] {
+        [
+            AccessHistory::new(policy, ShadowBackend::Sharded),
+            AccessHistory::new(policy, ShadowBackend::Paged),
+        ]
+    }
+
     #[test]
     fn all_policy_keeps_every_reader() {
-        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
-        for i in 0..5u32 {
+        for h in both_backends(ReaderPolicy::All) {
+            for i in 0..5u32 {
+                h.locked(0x100, |e| {
+                    e.readers
+                        .record(0, (i, 10 - i), eng_less, heb_less, precedes)
+                });
+            }
             h.locked(0x100, |e| {
-                e.readers
-                    .record(0, (i, 10 - i), eng_less, heb_less, precedes)
+                assert_eq!(e.readers.len(), 5);
+                let mut seen = vec![];
+                e.readers.for_each(|p| seen.push(p));
+                assert_eq!(seen.len(), 5);
             });
         }
-        h.locked(0x100, |e| {
-            assert_eq!(e.readers.len(), 5);
-            let mut seen = vec![];
-            e.readers.for_each(|p| seen.push(p));
-            assert_eq!(seen.len(), 5);
-        });
     }
 
     #[test]
     fn per_future_policy_keeps_extremes() {
-        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::PerFutureLR);
-        // Future 3: readers at (eng, heb) = (5,5), (2,8), (8,2).
-        for (e, hb) in [(5, 5), (2, 8), (8, 2)] {
+        for h in both_backends(ReaderPolicy::PerFutureLR) {
+            // Future 3: readers at (eng, heb) = (5,5), (2,8), (8,2).
+            for (e, hb) in [(5, 5), (2, 8), (8, 2)] {
+                h.locked(0x40, |ent| {
+                    ent.readers.record(3, (e, hb), eng_less, heb_less, precedes)
+                });
+            }
+            // A second future contributes separately.
             h.locked(0x40, |ent| {
-                ent.readers.record(3, (e, hb), eng_less, heb_less, precedes)
+                ent.readers.record(7, (1, 1), eng_less, heb_less, precedes)
+            });
+            h.locked(0x40, |ent| {
+                assert_eq!(ent.readers.len(), 4); // 2 futures × (l, r)
+                let mut seen = vec![];
+                ent.readers.for_each(|p| seen.push(p));
+                assert!(seen.contains(&(2, 8)), "leftmost by eng");
+                assert!(seen.contains(&(8, 2)), "rightmost by heb");
+                assert!(seen.contains(&(1, 1)));
             });
         }
-        // A second future contributes separately.
-        h.locked(0x40, |ent| {
-            ent.readers.record(7, (1, 1), eng_less, heb_less, precedes)
-        });
-        h.locked(0x40, |ent| {
-            assert_eq!(ent.readers.len(), 4); // 2 futures × (l, r)
-            let mut seen = vec![];
-            ent.readers.for_each(|p| seen.push(p));
-            assert!(seen.contains(&(2, 8)), "leftmost by eng");
-            assert!(seen.contains(&(8, 2)), "rightmost by heb");
-            assert!(seen.contains(&(1, 1)));
-        });
     }
 
     #[test]
     fn write_epoch_clears_readers_and_advances_seq() {
-        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
-        h.locked(0x8, |e| {
-            assert_eq!(e.writer_seq, 0);
-            e.readers.record(0, (1, 1), eng_less, heb_less, precedes);
-            e.begin_write_epoch((2, 2));
-            assert!(e.readers.is_empty());
-            assert_eq!(e.writer, Some((2, 2)));
-            assert_eq!(e.writer_seq, 1);
-            e.begin_write_epoch((3, 3));
-            assert_eq!(e.writer_seq, 2);
-        });
+        for h in both_backends(ReaderPolicy::All) {
+            h.locked(0x8, |e| {
+                assert_eq!(e.writer_seq, 0);
+                e.readers.record(0, (1, 1), eng_less, heb_less, precedes);
+                e.begin_write_epoch((2, 2));
+                assert!(e.readers.is_empty());
+                assert_eq!(e.writer, Some((2, 2)));
+                assert_eq!(e.writer_seq, 1);
+                e.begin_write_epoch((3, 3));
+                assert_eq!(e.writer_seq, 2);
+            });
+        }
     }
 
     #[test]
     fn distinct_addresses_distinct_entries() {
+        for h in both_backends(ReaderPolicy::All) {
+            for a in 0..1000u64 {
+                h.locked(a * 8, |e| {
+                    e.readers
+                        .record(0, (a as u32, a as u32), eng_less, heb_less, precedes)
+                });
+            }
+            assert_eq!(h.locations(), 1000);
+            match h.backend() {
+                ShadowBackend::Paged => assert_eq!(h.lock_ops(), 0),
+                ShadowBackend::Sharded => assert_eq!(h.lock_ops(), 1000),
+            }
+            assert!(h.heap_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn paged_mapped_path_never_locks() {
         let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
-        for a in 0..1000u64 {
-            h.locked(a * 8, |e| {
+        for a in 0..512u64 {
+            h.locked(a << GRANULE_SHIFT, |e| e.begin_write_epoch((1, 1)));
+        }
+        assert_eq!(h.lock_ops(), 0, "mapped addressing path took a lock");
+        assert!(h.page_allocs() >= 1);
+    }
+
+    #[test]
+    fn paged_sub_word_collisions_stay_exact() {
+        // Two different addresses in one 8-byte slot span: the first claims
+        // the slot, the second is diverted to the fallback map — entries
+        // are never merged, so verdicts match the sharded backend exactly.
+        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
+        h.locked(0x40, |e| e.begin_write_epoch((1, 1)));
+        h.locked(0x44, |e| e.begin_write_epoch((2, 2)));
+        h.locked(0x40, |e| assert_eq!(e.writer, Some((1, 1))));
+        h.locked(0x44, |e| assert_eq!(e.writer, Some((2, 2))));
+        assert_eq!(h.locations(), 2);
+        assert_eq!(h.lock_ops(), 2, "one fallback lock per 0x44 access");
+    }
+
+    #[test]
+    fn paged_out_of_range_addresses_use_fallback() {
+        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
+        let high = 1u64 << 60;
+        h.locked(high, |e| e.begin_write_epoch((1, 1)));
+        h.locked(high, |e| assert_eq!(e.writer, Some((1, 1))));
+        assert_eq!(h.lock_ops(), 2);
+        assert_eq!(h.locations(), 1);
+        let mut seen = vec![];
+        h.for_each_entry(|addr, _| seen.push(addr));
+        assert_eq!(seen, vec![high]);
+    }
+
+    #[test]
+    fn paged_fast_path_hits_on_redundant_reads() {
+        let h = PagedHistory::<Pos>::with_policy(ReaderPolicy::PerFutureLR);
+        let addr = 0x40u64;
+        // First read must go through the write section (records the triple).
+        let mut cur = h.cursor();
+        assert!(!cur.fast_read(addr, 3, (5, 5), eng_less, heb_less, precedes, |_, _| true));
+        cur.locked(addr, |e| {
+            e.readers.record(3, (5, 5), eng_less, heb_less, precedes)
+        });
+        // Same (future, pos) again: provably a no-op — fast hit, no store.
+        assert!(cur.fast_read(addr, 3, (5, 5), eng_less, heb_less, precedes, |_, _| true));
+        // A position that moves leftmost must miss.
+        assert!(!cur.fast_read(addr, 3, (2, 8), eng_less, heb_less, precedes, |_, _| true));
+        // A serial successor (advance rule fires) must miss too.
+        assert!(!cur.fast_read(addr, 3, (6, 6), eng_less, heb_less, precedes, |_, _| true));
+        // Parallel position inside the LR envelope for the same future:
+        // stays a no-op only if neither slot moves — (5,5) vs (5,5) is the
+        // stored pair, and (4,6)... eng_less((4,6),(5,5)) → leftmost moves.
+        assert!(!cur.fast_read(addr, 3, (4, 6), eng_less, heb_less, precedes, |_, _| true));
+        // An unknown future must miss (its triple is absent).
+        assert!(!cur.fast_read(addr, 9, (5, 5), eng_less, heb_less, precedes, |_, _| true));
+        // A writer veto routes to the slow path.
+        assert!(!cur.fast_read(addr, 3, (5, 5), eng_less, heb_less, precedes, |_, _| false));
+        assert_eq!(h.fast_hits(), 1);
+    }
+
+    #[test]
+    fn paged_fast_path_disabled_for_keep_all_policy() {
+        let h = PagedHistory::<Pos>::with_policy(ReaderPolicy::All);
+        let mut cur = h.cursor();
+        cur.locked(0x40, |e| {
+            e.readers.record(0, (1, 1), eng_less, heb_less, precedes)
+        });
+        // Keep-all must always record, so the fast path never hits.
+        assert!(!cur.fast_read(0x40, 0, (1, 1), eng_less, heb_less, precedes, |_, _| true));
+        assert_eq!(h.fast_hits(), 0);
+    }
+
+    #[test]
+    fn paged_mirror_spills_past_two_futures() {
+        let h = PagedHistory::<Pos>::with_policy(ReaderPolicy::PerFutureLR);
+        let mut cur = h.cursor();
+        for fut in 0..3u32 {
+            cur.locked(0x80, |e| {
                 e.readers
-                    .record(0, (a as u32, a as u32), eng_less, heb_less, precedes)
+                    .record(fut, (fut, fut), eng_less, heb_less, precedes)
             });
         }
-        assert_eq!(h.locations(), 1000);
-        assert_eq!(h.lock_ops(), 1000);
-        assert!(h.heap_bytes() > 0);
+        // Three futures exceed the inline mirror — fast path must bail even
+        // for a redundant read, and the locked path still has all triples.
+        assert!(!cur.fast_read(0x80, 0, (0, 0), eng_less, heb_less, precedes, |_, _| true));
+        cur.locked(0x80, |e| assert_eq!(e.readers.len(), 6));
+    }
+
+    #[test]
+    fn paged_write_epoch_invalidates_fast_path_epoch() {
+        let h = PagedHistory::<Pos>::with_policy(ReaderPolicy::PerFutureLR);
+        let mut cur = h.cursor();
+        cur.locked(0x40, |e| {
+            e.readers.record(1, (3, 3), eng_less, heb_less, precedes)
+        });
+        assert!(
+            cur.fast_read(0x40, 1, (3, 3), eng_less, heb_less, precedes, |w, seq| {
+                assert_eq!(w, None);
+                assert_eq!(seq, 0);
+                true
+            })
+        );
+        cur.locked(0x40, |e| e.begin_write_epoch((4, 4)));
+        // Readers were cleared by the write epoch: the triple is gone, so
+        // the fast path misses (the read must re-record under the lock).
+        assert!(!cur.fast_read(0x40, 1, (3, 3), eng_less, heb_less, precedes, |_, _| true));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_on_both_backends() {
+        use std::sync::Arc;
+        for backend in [ShadowBackend::Sharded, ShadowBackend::Paged] {
+            let h: Arc<AccessHistory<Pos>> =
+                Arc::new(AccessHistory::new(ReaderPolicy::All, backend));
+            let mut threads = vec![];
+            for t in 0..4u32 {
+                let h = Arc::clone(&h);
+                threads.push(std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.locked((i % 64) << GRANULE_SHIFT, |e| {
+                            e.readers.record(t, (t, t), eng_less, heb_less, precedes)
+                        });
+                    }
+                }));
+            }
+            for t in threads {
+                t.join().unwrap();
+            }
+            match backend {
+                ShadowBackend::Sharded => assert_eq!(h.lock_ops(), 40_000),
+                ShadowBackend::Paged => assert_eq!(h.lock_ops(), 0),
+            }
+            h.locked(0, |e| assert!(e.readers.len() >= 4 * 10_000 / 64));
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_retained_state() {
+        let [s, p] = both_backends(ReaderPolicy::PerFutureLR);
+        let accesses: &[(u64, u32, Pos)] = &[
+            (0x10, 0, (1, 9)),
+            (0x10, 0, (2, 8)),
+            (0x10, 1, (5, 5)),
+            (0x20, 0, (3, 3)),
+            (0x10, 1, (4, 6)),
+        ];
+        for h in [&s, &p] {
+            for &(addr, fut, pos) in accesses {
+                h.locked(addr, |e| {
+                    e.readers.record(fut, pos, eng_less, heb_less, precedes)
+                });
+            }
+        }
+        let collect = |h: &AccessHistory<Pos>| {
+            let mut v: Vec<(u64, Vec<Pos>)> = vec![];
+            h.for_each_entry(|addr, e| {
+                let mut readers = vec![];
+                e.readers.for_each(|p| readers.push(p));
+                v.push((addr, readers));
+            });
+            v.sort();
+            v
+        };
+        assert_eq!(collect(&s), collect(&p));
+        assert_eq!(s.max_retained_readers(), p.max_retained_readers());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let h: ShardedHistory<Pos> = ShardedHistory::new(ReaderPolicy::All, 5);
+        assert_eq!(h.shard_count(), 8);
+        let h1: ShardedHistory<Pos> = ShardedHistory::new(ReaderPolicy::All, 1);
+        assert_eq!(h1.shard_count(), 1);
+        // Single-shard table still works.
+        h1.locked(1, |e| e.begin_write_epoch((0, 0)));
+        h1.locked(2, |e| e.begin_write_epoch((1, 1)));
+        assert_eq!(h1.locations(), 2);
     }
 
     #[test]
     fn batch_mode_amortizes_lock_ops() {
-        let h: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, 4);
+        let h: ShardedHistory<Pos> = ShardedHistory::new(ReaderPolicy::All, 4);
         // Group 64 addresses by shard, lock each shard once.
         let mut by_shard: Vec<Vec<u64>> = vec![Vec::new(); h.shard_count()];
         for a in (0..64u64).map(|a| a * 32) {
@@ -522,46 +726,21 @@ mod tests {
     }
 
     #[test]
-    fn locked_and_with_shard_see_the_same_entry() {
-        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
-        h.locked(0x77, |e| e.begin_write_epoch((9, 9)));
-        let shard = h.shard_index(0x77);
-        h.with_shard(shard, |view| {
-            assert_eq!(view.entry(0x77).writer, Some((9, 9)));
-        });
-    }
-
-    #[test]
-    fn concurrent_access_is_safe() {
-        use std::sync::Arc;
-        let h: Arc<AccessHistory<Pos>> = Arc::new(AccessHistory::with_policy(ReaderPolicy::All));
-        let mut threads = vec![];
-        for t in 0..4u32 {
-            let h = Arc::clone(&h);
-            threads.push(std::thread::spawn(move || {
-                for i in 0..10_000u64 {
-                    h.locked(i % 64, |e| {
-                        e.readers.record(t, (t, t), eng_less, heb_less, precedes)
-                    });
-                }
-            }));
+    fn heap_bytes_covers_table_capacity() {
+        // The audit fix: bytes must be capacity-based, so a store holding N
+        // entries charges at least N * entry-size even before any reader
+        // payload, on both backends.
+        for h in both_backends(ReaderPolicy::All) {
+            for a in 0..100u64 {
+                h.locked(a << GRANULE_SHIFT, |e| e.begin_write_epoch((1, 1)));
+            }
+            let floor = 100 * std::mem::size_of::<(u64, LocEntry<Pos>)>();
+            assert!(
+                h.heap_bytes() >= floor,
+                "{:?}: {} < {floor}",
+                h.backend(),
+                h.heap_bytes()
+            );
         }
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert_eq!(h.lock_ops(), 40_000);
-        h.locked(0, |e| assert!(e.readers.len() >= 4 * 10_000 / 64));
-    }
-
-    #[test]
-    fn shard_count_rounds_to_power_of_two() {
-        let h: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, 5);
-        assert_eq!(h.shard_count(), 8);
-        let h1: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, 1);
-        assert_eq!(h1.shard_count(), 1);
-        // Single-shard table still works.
-        h1.locked(1, |e| e.begin_write_epoch((0, 0)));
-        h1.locked(2, |e| e.begin_write_epoch((1, 1)));
-        assert_eq!(h1.locations(), 2);
     }
 }

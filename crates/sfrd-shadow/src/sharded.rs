@@ -1,0 +1,194 @@
+//! The legacy mutex-sharded access history (PR 1's batched-shard design),
+//! kept behind [`ShadowBackend::Sharded`](crate::ShadowBackend) as the
+//! differential-testing baseline and the ablation reference point.
+//!
+//! The table is split into a power-of-two number of **address shards**,
+//! each a hash map keyed by address under its own mutex. A shard — not a
+//! location — is the locking unit, which gives the access path two modes:
+//!
+//! * **per-access** ([`ShardedHistory::locked`]): hash the address, take
+//!   its shard lock, run the check/update closure. One lock acquisition
+//!   per instrumented access — the cost structure the paper measures as
+//!   the dominant `full`-configuration overhead (§4), counted by
+//!   [`ShardedHistory::lock_ops`].
+//! * **per-batch** ([`ShardedHistory::with_shard`] +
+//!   [`ShardedHistory::shard_index`]): the caller groups a strand's
+//!   buffered accesses by shard (sorting by [`shard_index`] also yields a
+//!   canonical lock order), takes each touched shard's lock **once**, and
+//!   processes every access that falls in it through the [`ShardView`].
+//!   Lock acquisitions drop from one per access to one per
+//!   (flush × touched shard).
+//!
+//! Both modes still serialize every access through a mutex; the paged
+//! backend ([`crate::PagedHistory`]) removes that from the addressing path
+//! entirely.
+//!
+//! [`shard_index`]: ShardedHistory::shard_index
+
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{AddrHasher, AddrMap, LocEntry, ReaderPolicy, Readers, BLOCK_SHIFT, GRANULE_SHIFT};
+
+struct Shard<P> {
+    map: Mutex<AddrMap<LocEntry<P>>>,
+}
+
+/// Sharded access history keyed by address (the legacy backend).
+pub struct ShardedHistory<P> {
+    shards: Box<[Shard<P>]>,
+    policy: ReaderPolicy,
+    /// Shard-lock acquisitions. In per-access mode this equals the number
+    /// of instrumented accesses — the dominant overhead source identified
+    /// in §4; in batch mode it is one per (flush × touched shard).
+    lock_ops: AtomicU64,
+    mask: u64,
+}
+
+/// One shard of the table, locked once for a whole batch of accesses.
+pub struct ShardView<'a, P> {
+    map: MutexGuard<'a, AddrMap<LocEntry<P>>>,
+    policy: ReaderPolicy,
+}
+
+impl<P: Copy> ShardView<'_, P> {
+    /// The location's entry (created empty if absent). The address must
+    /// hash to this shard — debug-checked by the caller's bookkeeping, not
+    /// here (the map is per-shard, so a foreign address would just create
+    /// an unreachable entry).
+    pub fn entry(&mut self, addr: u64) -> &mut LocEntry<P> {
+        let policy = self.policy;
+        self.map.entry(addr).or_insert_with(|| LocEntry {
+            writer: None,
+            readers: Readers::new(policy),
+            writer_seq: 0,
+        })
+    }
+}
+
+impl<P: Copy + Send> ShardedHistory<P> {
+    /// Create a history with `shards` lock stripes (rounded up to a power
+    /// of two).
+    pub fn new(policy: ReaderPolicy, shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        let shards = (0..n)
+            .map(|_| Shard {
+                map: Mutex::new(AddrMap::default()),
+            })
+            .collect::<Vec<_>>();
+        Self {
+            shards: shards.into_boxed_slice(),
+            policy,
+            lock_ops: AtomicU64::new(0),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Default sizing: 4096 shards.
+    pub fn with_policy(policy: ReaderPolicy) -> Self {
+        Self::new(policy, 4096)
+    }
+
+    /// The reader-retention policy in force.
+    pub fn policy(&self) -> ReaderPolicy {
+        self.policy
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `addr` hashes to — by [`BLOCK_SHIFT`]-aligned block, so
+    /// neighbouring addresses share a shard. Batch flushers sort buffered
+    /// accesses by this index: equal indices share one lock acquisition,
+    /// and ascending order is the canonical lock order (each shard is
+    /// locked at most once per flush, so no deadlock is possible either
+    /// way — the order just keeps the discipline auditable).
+    #[inline]
+    pub fn shard_index(&self, addr: u64) -> usize {
+        let block = addr >> (GRANULE_SHIFT + BLOCK_SHIFT);
+        let mut h = AddrHasher::default();
+        std::hash::Hasher::write_u64(&mut h, block);
+        (std::hash::Hasher::finish(&h) & self.mask) as usize
+    }
+
+    /// Take one shard's lock and run `f` on the [`ShardView`]: the
+    /// batch-mode entry point — one `lock_ops` tick covers every entry the
+    /// closure touches.
+    #[inline]
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut ShardView<'_, P>) -> R) -> R {
+        self.lock_ops.fetch_add(1, Ordering::Relaxed);
+        let mut view = ShardView {
+            map: self.shards[shard].map.lock(),
+            policy: self.policy,
+        };
+        f(&mut view)
+    }
+
+    /// Run `f` with the location's entry locked (creating it if absent):
+    /// the per-access critical section whose volume the paper identifies
+    /// as the dominant `full`-config cost. One `lock_ops` tick per call.
+    #[inline]
+    pub fn locked<R>(&self, addr: u64, f: impl FnOnce(&mut LocEntry<P>) -> R) -> R {
+        self.with_shard(self.shard_index(addr), |view| f(view.entry(addr)))
+    }
+
+    /// Total shard-lock acquisitions so far.
+    pub fn lock_ops(&self) -> u64 {
+        self.lock_ops.load(Ordering::Relaxed)
+    }
+
+    /// Number of tracked locations.
+    pub fn locations(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// Maximum retained readers over all locations (the §3.5 bound says
+    /// ≤ 2k under [`ReaderPolicy::PerFutureLR`]).
+    pub fn max_retained_readers(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .values()
+                    .map(|e| e.readers.len())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate heap bytes (table capacity + reader payloads).
+    ///
+    /// Sized by the maps' *capacity*, not their length: hash tables
+    /// allocate buckets ahead of occupancy, and the pre-audit version
+    /// (`len * entry`) under-reported by up to the load-factor headroom —
+    /// the Fig. 5 accounting must charge what the allocator actually holds.
+    /// Reader payloads were already capacity-based (the `PerFutureLR`
+    /// triple vectors charge `capacity * size_of::<(u32, P, P)>`, growth
+    /// slack included); the audit confirmed the undercount was the table
+    /// term, not the triples.
+    pub fn heap_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(u64, LocEntry<P>)>() + 8;
+        self.shards
+            .iter()
+            .map(|s| {
+                let m = s.map.lock();
+                m.capacity() * entry + m.values().map(|e| e.readers.heap_bytes()).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Visit every `(addr, entry)` pair (diagnostics / differential tests).
+    pub fn for_each_entry(&self, mut f: impl FnMut(u64, &LocEntry<P>)) {
+        for s in self.shards.iter() {
+            let m = s.map.lock();
+            for (&addr, e) in m.iter() {
+                f(addr, e);
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Differential property test: the paged backend against the legacy
+//! sharded backend under arbitrary access sequences.
+//!
+//! Each case decodes a `Vec<u64>` into a sequence of reads and writes —
+//! mixed futures, positions, sub-word-colliding addresses (4-byte stride
+//! inside 8-byte slot spans) and occasional out-of-range addresses — and
+//! drives the *same* sequence through both stores using the detectors'
+//! check protocol (writer-check on reads, writer+reader-check on writes).
+//! The paged side additionally attempts the zero-store fast path before
+//! every read, exactly as `sfrd-core`'s event sink does. The properties:
+//!
+//! * the per-access race verdicts are identical,
+//! * the retained state (writer, writer epoch, reader set per address) is
+//!   identical,
+//! * `max_retained_readers` and `locations` agree.
+
+use proptest::prelude::*;
+use sfrd_shadow::{AccessHistory, PagedHistory, ReaderPolicy, ShadowBackend};
+
+type Pos = (u32, u32); // (eng, heb) toy positions
+
+fn eng_less(a: &Pos, b: &Pos) -> bool {
+    a.0 < b.0
+}
+fn heb_less(a: &Pos, b: &Pos) -> bool {
+    a.1 < b.1
+}
+fn precedes(a: &Pos, b: &Pos) -> bool {
+    a != b && a.0 < b.0 && a.1 < b.1
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    write: bool,
+    addr: u64,
+    fut: u32,
+    pos: Pos,
+}
+
+/// Decode one op from a raw word (the vendored proptest has no tuple /
+/// enum `Arbitrary`, so we bit-slice a `u64` instead).
+fn decode(code: u64) -> Op {
+    let write = code & 0b11 == 0; // 25% writes
+    let fut = ((code >> 2) & 0b11) as u32; // 4 futures
+                                           // 4-byte stride: consecutive indices alternate between claiming an
+                                           // 8-byte slot and colliding into its fallback half.
+    let mut addr = 0x1000 + ((code >> 4) & 63) * 4;
+    if (code >> 10) & 0xF == 0 {
+        addr |= 1 << 60; // out of the mapped 2^47 range
+    }
+    let eng = ((code >> 14) & 0xFF) as u32;
+    let heb = ((code >> 22) & 0xFF) as u32;
+    Op {
+        write,
+        addr,
+        fut,
+        pos: (eng, heb),
+    }
+}
+
+/// The detectors' check protocol against one store; returns the verdict
+/// (raced?) per op. `paged_fast` mimics `sfrd-core`'s read path: try the
+/// zero-store fast path first, fall back to the write section on a miss.
+fn run(h: &AccessHistory<Pos>, ops: &[Op]) -> Vec<bool> {
+    let mut cursor = h.paged().map(PagedHistory::cursor);
+    ops.iter()
+        .map(|op| {
+            if op.write {
+                h.locked(op.addr, |e| {
+                    let mut race = e.writer.is_some_and(|w| !precedes(&w, &op.pos));
+                    e.readers.for_each(|r| race |= !precedes(&r, &op.pos));
+                    e.begin_write_epoch(op.pos);
+                    race
+                })
+            } else {
+                let fast = cursor.as_mut().is_some_and(|cur| {
+                    cur.fast_read(
+                        op.addr,
+                        op.fut,
+                        op.pos,
+                        eng_less,
+                        heb_less,
+                        precedes,
+                        |w, _| w.is_none_or(|w| precedes(&w, &op.pos)),
+                    )
+                });
+                if fast {
+                    return false; // provably redundant: no race, no store
+                }
+                h.locked(op.addr, |e| {
+                    let race = e.writer.is_some_and(|w| !precedes(&w, &op.pos));
+                    e.readers
+                        .record(op.fut, op.pos, eng_less, heb_less, precedes);
+                    race
+                })
+            }
+        })
+        .collect()
+}
+
+/// Full retained state, sorted for comparison.
+fn state(h: &AccessHistory<Pos>) -> Vec<(u64, Option<Pos>, u64, Vec<Pos>)> {
+    let mut v = Vec::new();
+    h.for_each_entry(|addr, e| {
+        let mut readers = Vec::new();
+        e.readers.for_each(|p| readers.push(p));
+        readers.sort_unstable();
+        v.push((addr, e.writer, e.writer_seq, readers));
+    });
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..Default::default() })]
+
+    #[test]
+    fn backends_give_identical_verdicts_and_state(
+        codes in proptest::collection::vec(any::<u64>(), 1..400)
+    ) {
+        // First word selects the reader policy; the rest are ops (the
+        // vendored proptest macro takes exactly one strategy binding).
+        let policy = if codes[0] & 1 == 0 { ReaderPolicy::All } else { ReaderPolicy::PerFutureLR };
+        let ops: Vec<Op> = codes[1..].iter().map(|&c| decode(c)).collect();
+        let sharded = AccessHistory::new(policy, ShadowBackend::Sharded);
+        let paged = AccessHistory::new(policy, ShadowBackend::Paged);
+        let vs = run(&sharded, &ops);
+        let vp = run(&paged, &ops);
+        prop_assert_eq!(&vs, &vp, "race verdicts diverge\nops: {:?}", ops);
+        prop_assert_eq!(state(&sharded), state(&paged));
+        prop_assert_eq!(sharded.locations(), paged.locations());
+        prop_assert_eq!(sharded.max_retained_readers(), paged.max_retained_readers());
+    }
+}
+
+/// The fast path must actually engage on redundant-read-heavy sequences —
+/// otherwise the differential test above exercises nothing.
+#[test]
+fn fast_path_engages_on_redundant_sequences() {
+    let paged = AccessHistory::<Pos>::new(ReaderPolicy::PerFutureLR, ShadowBackend::Paged);
+    let ops: Vec<Op> = (0..64)
+        .flat_map(|i| {
+            let op = Op {
+                write: false,
+                addr: 0x2000 + i * 8,
+                fut: 1,
+                pos: (7, 7),
+            };
+            [op, op, op] // every repeat after the first is redundant
+        })
+        .collect();
+    let verdicts = run(&paged, &ops);
+    assert!(verdicts.iter().all(|&r| !r));
+    assert!(
+        paged.fast_hits() >= 2 * 64,
+        "expected >=128 fast hits, got {}",
+        paged.fast_hits()
+    );
+    assert_eq!(paged.lock_ops(), 0);
+}

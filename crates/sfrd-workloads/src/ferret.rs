@@ -8,7 +8,7 @@
 //! handle is gotten exactly once. With `Q` queries and 4 future stages,
 //! `k = 4Q` (the paper's simlarge run uses k = 256).
 //!
-//! Images and the feature database are synthetic (DESIGN.md §6): the
+//! Images and the feature database are synthetic (DESIGN.md §7): the
 //! access pattern — per-query buffers flowing stage to stage plus a big
 //! read-mostly database scan in the rank stage — is what the detector
 //! sees, and that is preserved.

@@ -3,7 +3,7 @@
 //! Rodinia's Heart Wall tracks sample points of a mouse heart across a
 //! sequence of ultrasound frames: within a frame all points are
 //! independent; across frames each point depends on its own previous
-//! position. We synthesize the frames (DESIGN.md §6 — detection cost
+//! position. We synthesize the frames (DESIGN.md §7 — detection cost
 //! depends on the dependence structure and access pattern, not on real
 //! pixels): the main task writes each frame's pixels, then creates one
 //! future per (frame, point); task `(f, p)` gets the handle of

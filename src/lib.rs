@@ -32,5 +32,5 @@ pub mod prelude {
         WspDetector,
     };
     pub use sfrd_runtime::{Cx, RuntimeConfig};
-    pub use sfrd_shadow::ReaderPolicy;
+    pub use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 }

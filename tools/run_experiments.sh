@@ -20,12 +20,28 @@ REPS="${3:-3}"
 echo ">> building (release)"
 cargo build --workspace --release
 
+# Newest mtime (epoch seconds) in the source tree: any binary older than
+# this is stale and must not produce committed artifacts.
+newest_source_mtime() {
+  find crates src vendor Cargo.toml Cargo.lock -name '*.rs' -o -name 'Cargo.toml' -o -name 'Cargo.lock' 2>/dev/null \
+    | xargs stat -c '%Y' 2>/dev/null | sort -n | tail -1
+}
+SRC_MTIME="$(newest_source_mtime)"
+
 run() {
   local bin="$1" out="$2"
   shift 2
   local exe="target/release/$bin"
   if [[ ! -x "$exe" ]]; then
     echo "error: $exe missing after build — did 'cargo build --workspace --release' skip sfrd-bench?" >&2
+    exit 1
+  fi
+  local bin_mtime
+  bin_mtime="$(stat -c '%Y' "$exe")"
+  if ((bin_mtime < SRC_MTIME)); then
+    echo "error: $exe is STALE (binary mtime $bin_mtime < newest source mtime $SRC_MTIME)." >&2
+    echo "       The release build did not rebuild it — refusing to regenerate artifacts" >&2
+    echo "       from an old binary. Run 'cargo build --workspace --release' and retry." >&2
     exit 1
   fi
   echo ">> $bin $* -> $out"
@@ -37,5 +53,10 @@ run fig5_memory          results_fig5_"$SCALE".txt --scale "$SCALE"
 run k_scaling            results_kscaling.txt
 # fig4 last: it is timing-sensitive, keep the machine quiet.
 run fig4_times           results_fig4_"$SCALE".txt --scale "$SCALE" --workers "$WORKERS" --reps "$REPS"
+
+# Shadow-paging ablation (EXPERIMENTS.md): sharded vs paged store, sw +
+# hw across worker counts; the counter lines land on stderr -> the log.
+echo ">> ablation shadow_paging -> results_ablation_shadow.txt"
+cargo bench -p sfrd-bench --bench ablation -- shadow_paging 2>&1 | tee results_ablation_shadow.txt
 
 echo ">> done (scale=$SCALE workers=$WORKERS reps=$REPS); see results_*.txt"

@@ -214,6 +214,60 @@ fn shadow_paging(c: &mut Criterion) {
     g.finish();
 }
 
+/// The adaptive-set ablation (DESIGN.md §9): SF-Order with the dense
+/// bitmap baseline (every `with`/`union` copies all `⌈k/64⌉` words) vs
+/// the adaptive inline/sparse/chunked copy-on-write family, on the
+/// future-heavy `hw` workload in both `reach` and `full` configurations.
+/// The set counters are reported once per configuration before the
+/// timing loop: `set_bytes` is cumulative fresh payload, the tier
+/// counters show where allocations landed, and `chunks_shared` /
+/// `lineage_hits` size the structural sharing and the O(1) merge
+/// fast exits.
+fn set_repr(c: &mut Criterion) {
+    use sfrd_core::SetRepr;
+
+    let mut g = c.benchmark_group("ablation/set_repr");
+    g.sample_size(10);
+    for mode in [Mode::Reach, Mode::Full] {
+        for (label, repr) in [("dense", SetRepr::Dense), ("adaptive", SetRepr::Adaptive)] {
+            let w = make_bench("hw", Scale::Small, 1);
+            let cfg = DriveConfig {
+                set_repr: repr,
+                ..DriveConfig::with(DetectorKind::SfOrder, mode, 1)
+            };
+            let rep = drive(&w, cfg).report.expect("detector returns a report");
+            let m = &rep.metrics;
+            let mode_l = format!("{mode:?}").to_lowercase();
+            eprintln!(
+                "set_repr/hw/{mode_l}/{label}: set_bytes={} allocs={} \
+                 tiers=i{}/s{}/c{}/d{} chunks_shared={} chunks_copied={} \
+                 lineage_hits={} races={}",
+                m.set_bytes,
+                m.set_allocs,
+                m.set_tier_inline,
+                m.set_tier_sparse,
+                m.set_tier_chunked,
+                m.set_tier_dense,
+                m.set_chunks_shared,
+                m.set_chunks_copied,
+                m.set_lineage_hits,
+                rep.total_races,
+            );
+            g.bench_function(format!("hw/{mode_l}/{label}"), |b| {
+                b.iter(|| {
+                    let w = make_bench("hw", Scale::Small, 1);
+                    let cfg = DriveConfig {
+                        set_repr: repr,
+                        ..DriveConfig::with(DetectorKind::SfOrder, mode, 1)
+                    };
+                    black_box(drive(&w, cfg));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     ablation,
     reader_policy,
@@ -221,6 +275,7 @@ criterion_group!(
     access_fast_path,
     shadow_batching,
     om_contention,
-    shadow_paging
+    shadow_paging,
+    set_repr
 );
 criterion_main!(ablation);

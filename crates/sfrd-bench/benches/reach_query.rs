@@ -6,9 +6,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfrd_dag::FutureId;
 use sfrd_reach::bitmap::{merge, FutureSet, SetStats};
-use sfrd_reach::{SpOrder, SpPos};
+use sfrd_reach::{SetRepr, SpOrder, SpPos};
 use std::hint::black_box;
 use std::sync::Arc;
+
+/// Both set families, for side-by-side micro-bench entries.
+const FAMILIES: [(&str, SetRepr); 2] = [("dense", SetRepr::Dense), ("adaptive", SetRepr::Adaptive)];
 
 /// Build a fork tree and collect strand positions.
 fn build_positions(forks: usize) -> (SpOrder, Vec<SpPos>) {
@@ -43,46 +46,69 @@ fn bench_sp_precedes(c: &mut Criterion) {
 }
 
 fn bench_bitmap_contains(c: &mut Criterion) {
-    // A k = 4096 futures set, half populated.
-    let mut set = FutureSet::empty();
-    for i in (0..4096).step_by(2) {
-        set = set.with(FutureId(i));
+    for (family, repr) in FAMILIES {
+        // A k = 4096 futures set, half populated.
+        let mut set = FutureSet::empty_in(repr);
+        for i in (0..4096).step_by(2) {
+            set = set.with(FutureId(i));
+        }
+        c.bench_function(&format!("reach/gp_contains_k4096/{family}"), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1237) % 4096;
+                black_box(set.contains(FutureId(i)))
+            })
+        });
     }
-    c.bench_function("reach/gp_contains_k4096", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1237) % 4096;
-            black_box(set.contains(FutureId(i)))
-        })
-    });
 }
 
 fn bench_bitmap_merge(c: &mut Criterion) {
-    let stats = SetStats::default();
-    let mut a = FutureSet::empty();
-    let mut bset = FutureSet::empty();
-    for i in 0..2048 {
-        if i % 2 == 0 {
-            a = a.with(FutureId(i));
-        } else {
-            bset = bset.with(FutureId(i));
+    for (family, repr) in FAMILIES {
+        let stats = SetStats::default();
+        let mut a = FutureSet::empty_in(repr);
+        let mut bset = FutureSet::empty_in(repr);
+        for i in 0..2048 {
+            if i % 2 == 0 {
+                a = a.with(FutureId(i));
+            } else {
+                bset = bset.with(FutureId(i));
+            }
         }
+        let a = Arc::new(a);
+        let bset = Arc::new(bset);
+        c.bench_function(&format!("reach/gp_merge_divergent_k2048/{family}"), |b| {
+            b.iter(|| black_box(merge(&a, &bset, &stats)))
+        });
+        let sub = Arc::new(FutureSet::singleton_in(FutureId(0), repr));
+        c.bench_function(&format!("reach/gp_merge_subset_shared/{family}"), |b| {
+            b.iter(|| black_box(merge(&a, &sub, &stats)))
+        });
     }
-    let a = Arc::new(a);
-    let bset = Arc::new(bset);
-    c.bench_function("reach/gp_merge_divergent_k2048", |b| {
-        b.iter(|| black_box(merge(&a, &bset, &stats)))
-    });
-    let sub = Arc::new(FutureSet::singleton(FutureId(0)));
-    c.bench_function("reach/gp_merge_subset_shared", |b| {
-        b.iter(|| black_box(merge(&a, &sub, &stats)))
-    });
+}
+
+/// The derivation-chain micro-bench behind the tentpole: extending a
+/// growing `gp` one future at a time. Dense copies every word per step;
+/// adaptive amortizes through the chunk tail buffer (8 zero-allocation
+/// extensions per flush).
+fn bench_growth_chain(c: &mut Criterion) {
+    for (family, repr) in FAMILIES {
+        c.bench_function(&format!("reach/gp_growth_chain_k2048/{family}"), |b| {
+            b.iter(|| {
+                let mut set = FutureSet::empty_in(repr);
+                for i in 0..2048 {
+                    set = set.with(FutureId(i));
+                }
+                black_box(set.len())
+            })
+        });
+    }
 }
 
 criterion_group!(
     reach,
     bench_sp_precedes,
     bench_bitmap_contains,
-    bench_bitmap_merge
+    bench_bitmap_merge,
+    bench_growth_chain
 );
 criterion_main!(reach);

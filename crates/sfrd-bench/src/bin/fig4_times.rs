@@ -22,62 +22,10 @@
 //! record across PRs.
 
 use sfrd_bench::{
-    fig4_grid, report_json, run_bench_cell, times, work_span, HarnessArgs, Json, Table, TimedCell,
+    append_snapshot, cell_json, fig4_grid, run_bench_cell, times, work_span, HarnessArgs, Json,
+    Table,
 };
 use sfrd_core::DetectorKind;
-
-fn cell_json(config: &str, workers: usize, cell: &TimedCell) -> Json {
-    let metrics = match &cell.report {
-        Some(rep) => report_json(rep),
-        None => Json::Null,
-    };
-    Json::obj()
-        .field("config", config)
-        .field("workers", workers)
-        .field("mean_s", cell.timing.mean)
-        .field("sd_s", cell.timing.sd)
-        .field("metrics", metrics)
-}
-
-/// Append `snap` to the schema-2 trajectory at `path`, creating the
-/// document if absent and migrating a legacy schema-1 file (a single bare
-/// snapshot object) by wrapping it as the first snapshot. There is no
-/// vendored JSON parser, so this splices textually — sound because the
-/// renderer's layout is fixed (two-space indent, `]\n}\n` tail).
-fn append_snapshot(path: &str, snap: Json) {
-    const TAIL: &str = "\n  ]\n}\n";
-    let reindent = |text: &str| -> String {
-        text.trim_end()
-            .lines()
-            .map(|l| format!("    {l}"))
-            .collect::<Vec<_>>()
-            .join("\n")
-            .trim_start()
-            .to_string()
-    };
-    let fresh = |snapshots: Vec<String>| {
-        let body: Vec<String> = snapshots.iter().map(|s| format!("    {s}")).collect();
-        format!(
-            "{{\n  \"schema\": 2,\n  \"figure\": \"fig4\",\n  \"snapshots\": [\n{}{TAIL}",
-            body.join(",\n")
-        )
-    };
-    let rendered = reindent(&snap.render());
-    let doc = match std::fs::read_to_string(path) {
-        Err(_) => fresh(vec![rendered]),
-        Ok(existing) if existing.contains("\"schema\": 2") => {
-            let body = existing.strip_suffix(TAIL).unwrap_or_else(|| {
-                panic!("{path}: schema-2 trajectory has an unexpected layout; refusing to splice")
-            });
-            format!("{body},\n    {rendered}{TAIL}")
-        }
-        Ok(legacy) => {
-            // Schema-1: one bare snapshot object — keep it as history.
-            fresh(vec![reindent(&legacy), rendered])
-        }
-    };
-    std::fs::write(path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-}
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -1,4 +1,5 @@
-//! Probe the `O(k²)` reachability-construction term (Lemma 3.12).
+//! Probe the `O(k²)` reachability-construction term (Lemma 3.12) and the
+//! adaptive-set ablation.
 //!
 //! Both SF-Order and F-Order pay O(k) per create to extend ancestor
 //! metadata — O(k²) total — but with very different constants: SF-Order
@@ -7,18 +8,28 @@
 //! each gotten by its creator — the worst case for `cp`/`gp` growth is a
 //! chain of *gets*, which accumulates every prior future into `gp`).
 //!
-//! Output: reach-only wall time and bytes for both detectors as `k` grows.
-//! Expected shape: both grow superlinearly in k; F-Order's curve sits a
-//! constant factor above SF-Order's (the Fig. 4/5 gap, isolated).
+//! SF-Order runs in **both** set representations: the dense baseline
+//! (every derivation copies the whole bitmap) and the adaptive
+//! inline/sparse/chunked family (structural sharing + lineage fast
+//! exits). The `SFa/SFd bytes` ratio is the tentpole acceptance metric:
+//! adaptive must allocate ≥4x fewer set bytes at k ≥ 4096.
+//!
+//! Output: reach-only wall time, cumulative set payload bytes for both
+//! SF-Order representations and for F-Order, and the dense/adaptive byte
+//! ratio as `k` grows.
 //!
 //! ```sh
-//! cargo run -p sfrd-bench --release --bin k_scaling -- [kmax]
+//! cargo run -p sfrd-bench --release --bin k_scaling -- [kmax] \
+//!     [--json] [--json-out PATH] [--json-label NAME]
 //! ```
+//!
+//! `--json` appends one snapshot per invocation to the `BENCH_fig4.json`
+//! perf trajectory (same schema-2 row shape as `fig4_times`: one
+//! `future_chain_k<k>` bench entry per sweep point, one row per detector
+//! configuration with the full metrics payload).
 
-use std::time::Instant;
-
-use sfrd_bench::Table;
-use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, Workload};
+use sfrd_bench::{append_snapshot, cell_json, Json, Table, TimedCell, Timing};
+use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, SetRepr, Workload};
 use sfrd_runtime::Cx;
 
 /// A chain of `k` futures, each gotten right after creation — maximizes
@@ -38,31 +49,116 @@ impl Workload for FutureChain {
     }
 }
 
+/// The sweep's detector arms: label, kind, set representation.
+const ARMS: [(&str, DetectorKind, SetRepr); 3] = [
+    (
+        "SF-Order/reach/adaptive",
+        DetectorKind::SfOrder,
+        SetRepr::Adaptive,
+    ),
+    (
+        "SF-Order/reach/dense",
+        DetectorKind::SfOrder,
+        SetRepr::Dense,
+    ),
+    ("F-Order/reach", DetectorKind::FOrder, SetRepr::Adaptive),
+];
+
 fn main() {
-    let kmax: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8192);
+    let mut kmax: usize = 8192;
+    let mut json: Option<String> = None;
+    let mut json_label: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                json.get_or_insert_with(|| "BENCH_fig4.json".to_string());
+            }
+            "--json-out" => json = Some(args.next().expect("missing --json-out path")),
+            "--json-label" => json_label = Some(args.next().expect("missing --json-label name")),
+            other => match other.parse() {
+                Ok(k) => kmax = k,
+                Err(_) => {
+                    eprintln!(
+                        "usage: k_scaling [kmax] [--json] [--json-out PATH] [--json-label NAME]"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
     println!("# k-scaling of reachability construction (reach config, 1 worker)");
-    let mut t = Table::new(&["k", "SF-Order (ms)", "F-Order (ms)", "SF bytes", "F bytes"]);
+    println!("# SFa = SF-Order adaptive sets (default), SFd = SF-Order dense baseline");
+    let mut t = Table::new(&[
+        "k",
+        "SFa (ms)",
+        "SFd (ms)",
+        "F (ms)",
+        "SFa bytes",
+        "SFd bytes",
+        "F bytes",
+        "SFd/SFa",
+    ]);
+    let mut bench_objects: Vec<Json> = Vec::new();
     let mut k = 512;
     while k <= kmax {
         let mut row = vec![k.to_string()];
-        let mut bytes = Vec::new();
-        for kind in [DetectorKind::SfOrder, DetectorKind::FOrder] {
+        let mut times_ms = Vec::new();
+        let mut bytes: Vec<u64> = Vec::new();
+        let mut rows: Vec<Json> = Vec::new();
+        for (label, kind, set_repr) in ARMS {
             let w = FutureChain { k };
-            let t0 = Instant::now();
-            let out = drive(&w, DriveConfig::with(kind, Mode::Reach, 1));
-            let _ = t0;
+            let out = drive(
+                &w,
+                DriveConfig {
+                    set_repr,
+                    ..DriveConfig::with(kind, Mode::Reach, 1)
+                },
+            );
             let rep = out.report.unwrap();
             assert_eq!(rep.counts.futures as usize, k);
-            row.push(format!("{:.2}", out.wall.as_secs_f64() * 1e3));
-            bytes.push(rep.reach_bytes);
+            times_ms.push(out.wall.as_secs_f64() * 1e3);
+            // F-Order reports its table bytes through the same counters.
+            bytes.push(rep.metrics.set_bytes);
+            let cell = TimedCell {
+                timing: Timing {
+                    mean: out.wall.as_secs_f64(),
+                    sd: 0.0,
+                },
+                report: Some(rep),
+            };
+            rows.push(cell_json(label, 1, &cell));
         }
-        row.push(bytes[0].to_string());
-        row.push(bytes[1].to_string());
+        for ms in &times_ms {
+            row.push(format!("{ms:.2}"));
+        }
+        for b in &bytes {
+            row.push(b.to_string());
+        }
+        let (adaptive, dense) = (bytes[0], bytes[1]);
+        row.push(format!("{:.1}x", dense as f64 / adaptive.max(1) as f64));
         t.row(row);
+        bench_objects.push(
+            Json::obj()
+                .field("bench", format!("future_chain_k{k}"))
+                .field("work", k as u64)
+                .field("span", k as u64)
+                .field("parallelism", 1.0)
+                .field("rows", rows),
+        );
         k *= 2;
     }
     print!("{}", t.render());
+    if let Some(path) = &json {
+        let label = json_label.unwrap_or_else(|| format!("kscaling-kmax{kmax}"));
+        let snap = Json::obj()
+            .field("label", label)
+            .field("scale", "kscaling")
+            .field("workers", 1usize)
+            .field("reps", 1usize)
+            .field("shadow", "paged")
+            .field("benches", bench_objects);
+        append_snapshot(path, snap);
+        eprintln!("appended snapshot to {path}");
+    }
 }

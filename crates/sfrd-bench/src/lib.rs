@@ -23,8 +23,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sfrd_core::{
-    drive, DetectorKind, DriveConfig, Mode, Outcome, RaceReport, RecordingHooks, ShadowBackend,
-    Workload,
+    drive, DetectorKind, DriveConfig, Mode, Outcome, RaceReport, RecordingHooks, SetRepr,
+    ShadowBackend, Workload,
 };
 use sfrd_runtime::run_sequential;
 use sfrd_workloads::{make_bench, AnyBench, Scale, BENCH_NAMES};
@@ -49,6 +49,9 @@ pub struct HarnessArgs {
     pub json_label: Option<String>,
     /// Shadow-memory backend (`--shadow sharded|paged`; default paged).
     pub shadow: ShadowBackend,
+    /// `cp`/`gp` set representation (`--set-repr dense|adaptive`; default
+    /// adaptive).
+    pub set_repr: SetRepr,
 }
 
 impl HarnessArgs {
@@ -62,6 +65,7 @@ impl HarnessArgs {
         let mut json = None;
         let mut json_label = None;
         let mut shadow = ShadowBackend::default();
+        let mut set_repr = SetRepr::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -115,6 +119,13 @@ impl HarnessArgs {
                         other => usage(&format!("bad --shadow {other:?}")),
                     }
                 }
+                "--set-repr" => {
+                    set_repr = match args.next().as_deref() {
+                        Some("dense") => SetRepr::Dense,
+                        Some("adaptive") => SetRepr::Adaptive,
+                        other => usage(&format!("bad --set-repr {other:?}")),
+                    }
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -130,13 +141,16 @@ impl HarnessArgs {
             json,
             json_label,
             shadow,
+            set_repr,
         }
     }
 
-    /// A detector configuration honoring the harness's backend selection.
+    /// A detector configuration honoring the harness's backend and
+    /// set-representation selections.
     pub fn cfg(&self, kind: DetectorKind, mode: Mode, workers: usize) -> DriveConfig {
         DriveConfig {
             shadow: self.shadow,
+            set_repr: self.set_repr,
             ..DriveConfig::with(kind, mode, workers)
         }
     }
@@ -149,7 +163,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale small|medium|paper] [--workers N] [--reps N] \
          [--bench mm|sort|sw|hw|ferret]... [--shadow sharded|paged] \
-         [--json] [--json-out PATH] [--json-label NAME]"
+         [--set-repr dense|adaptive] [--json] [--json-out PATH] [--json-label NAME]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -263,6 +277,70 @@ pub fn report_json(rep: &RaceReport) -> Json {
         .field("shadow_fast_hits", rep.metrics.shadow_fast_hits)
         .field("shadow_cas_retries", rep.metrics.shadow_cas_retries)
         .field("page_allocs", rep.metrics.page_allocs)
+        .field("set_bytes", rep.metrics.set_bytes)
+        .field("set_allocs", rep.metrics.set_allocs)
+        .field("set_tier_inline", rep.metrics.set_tier_inline)
+        .field("set_tier_sparse", rep.metrics.set_tier_sparse)
+        .field("set_tier_chunked", rep.metrics.set_tier_chunked)
+        .field("set_tier_dense", rep.metrics.set_tier_dense)
+        .field("set_chunks_shared", rep.metrics.set_chunks_shared)
+        .field("set_chunks_copied", rep.metrics.set_chunks_copied)
+        .field("set_lineage_hits", rep.metrics.set_lineage_hits)
+}
+
+/// One timed cell as a trajectory-row JSON object (shape shared by
+/// `fig4_times` and `k_scaling`).
+pub fn cell_json(config: &str, workers: usize, cell: &TimedCell) -> Json {
+    let metrics = match &cell.report {
+        Some(rep) => report_json(rep),
+        None => Json::Null,
+    };
+    Json::obj()
+        .field("config", config)
+        .field("workers", workers)
+        .field("mean_s", cell.timing.mean)
+        .field("sd_s", cell.timing.sd)
+        .field("metrics", metrics)
+}
+
+/// Append `snap` to the schema-2 perf trajectory at `path`, creating the
+/// document if absent and migrating a legacy schema-1 file (a single bare
+/// snapshot object) by wrapping it as the first snapshot. There is no
+/// vendored JSON parser, so this splices textually — sound because the
+/// renderer's layout is fixed (two-space indent, `]\n}\n` tail).
+pub fn append_snapshot(path: &str, snap: Json) {
+    const TAIL: &str = "\n  ]\n}\n";
+    let reindent = |text: &str| -> String {
+        text.trim_end()
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .trim_start()
+            .to_string()
+    };
+    let fresh = |snapshots: Vec<String>| {
+        let body: Vec<String> = snapshots.iter().map(|s| format!("    {s}")).collect();
+        format!(
+            "{{\n  \"schema\": 2,\n  \"figure\": \"fig4\",\n  \"snapshots\": [\n{}{TAIL}",
+            body.join(",\n")
+        )
+    };
+    let rendered = reindent(&snap.render());
+    let doc = match std::fs::read_to_string(path) {
+        Err(_) => fresh(vec![rendered]),
+        Ok(existing) if existing.contains("\"schema\": 2") => {
+            let body = existing.strip_suffix(TAIL).unwrap_or_else(|| {
+                panic!("{path}: schema-2 trajectory has an unexpected layout; refusing to splice")
+            });
+            format!("{body},\n    {rendered}{TAIL}")
+        }
+        Ok(legacy) => {
+            // Schema-1: one bare snapshot object — keep it as history.
+            fresh(vec![reindent(&legacy), rendered])
+        }
+    };
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 }
 
 /// Work and span of the recorded dag (node weights = instrumented

@@ -23,7 +23,8 @@
 use parking_lot::Mutex;
 
 use sfrd_reach::{
-    FoReach, FoStrand, MbPos, MbReach, MbStrand, SfPos, SfReach, SfStrand, StrandPos,
+    FoReach, FoStrand, MbPos, MbReach, MbStrand, SetRepr, SetStatsSnapshot, SfPos, SfReach,
+    SfStrand, StrandPos,
 };
 use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
@@ -88,8 +89,8 @@ impl<H: sfrd_runtime::TaskHooks> sfrd_runtime::TaskHooks for ReachOnly<H> {
 pub struct SfEngine(pub(crate) SfReach);
 
 impl SfEngine {
-    fn new() -> (Self, SfStrand) {
-        let (reach, root) = SfReach::new();
+    fn new(repr: SetRepr) -> (Self, SfStrand) {
+        let (reach, root) = SfReach::with_repr(repr);
         (Self(reach), root)
     }
 }
@@ -137,6 +138,9 @@ impl ReachEngine for SfEngine {
     fn merges(&self) -> u64 {
         self.0.set_stats().snapshot().2
     }
+    fn set_stats_snapshot(&self) -> SetStatsSnapshot {
+        self.0.set_stats().full_snapshot()
+    }
     fn om_stats(&self) -> sfrd_om::OmStats {
         self.0.sp_order().om_stats()
     }
@@ -154,7 +158,18 @@ impl SfDetector {
 
     /// [`new`](Self::new) with an explicit shadow-memory backend.
     pub fn with_backend(mode: Mode, policy: ReaderPolicy, backend: ShadowBackend) -> Self {
-        EventSink::build(SfEngine::new(), mode, policy, backend)
+        Self::with_config(mode, policy, backend, SetRepr::default())
+    }
+
+    /// Fully explicit constructor: shadow backend plus the `cp`/`gp`
+    /// set-representation family (`set_repr` ablation / differential runs).
+    pub fn with_config(
+        mode: Mode,
+        policy: ReaderPolicy,
+        backend: ShadowBackend,
+        set_repr: SetRepr,
+    ) -> Self {
+        EventSink::build(SfEngine::new(set_repr), mode, policy, backend)
     }
 
     /// Reachability engine (diagnostics).
@@ -211,6 +226,9 @@ impl ReachEngine for FoEngine {
     fn merges(&self) -> u64 {
         self.0.set_stats().snapshot().2
     }
+    fn set_stats_snapshot(&self) -> SetStatsSnapshot {
+        self.0.set_stats().full_snapshot()
+    }
     fn om_stats(&self) -> sfrd_om::OmStats {
         self.0.sp_order().om_stats()
     }
@@ -247,8 +265,8 @@ impl FoDetector {
 pub struct MbEngine(pub(crate) Mutex<MbReach>);
 
 impl MbEngine {
-    fn new() -> (Self, MbStrand) {
-        let (reach, root) = MbReach::new();
+    fn new(repr: SetRepr) -> (Self, MbStrand) {
+        let (reach, root) = MbReach::with_repr(repr);
         (Self(Mutex::new(reach)), root)
     }
 }
@@ -294,6 +312,9 @@ impl ReachEngine for MbEngine {
     fn merges(&self) -> u64 {
         self.0.lock().set_stats().snapshot().2
     }
+    fn set_stats_snapshot(&self) -> SetStatsSnapshot {
+        self.0.lock().set_stats().full_snapshot()
+    }
 }
 
 /// The sequential baseline detector: SP-bags union-find reachability.
@@ -307,6 +328,12 @@ impl MbDetector {
 
     /// [`new`](Self::new) with an explicit shadow-memory backend.
     pub fn with_backend(mode: Mode, backend: ShadowBackend) -> Self {
-        EventSink::build(MbEngine::new(), mode, ReaderPolicy::All, backend)
+        Self::with_config(mode, backend, SetRepr::default())
+    }
+
+    /// Fully explicit constructor: shadow backend plus the `cp`/`gp`
+    /// set-representation family.
+    pub fn with_config(mode: Mode, backend: ShadowBackend, set_repr: SetRepr) -> Self {
+        EventSink::build(MbEngine::new(set_repr), mode, ReaderPolicy::All, backend)
     }
 }

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sfrd_reach::SetRepr;
 use sfrd_runtime::{run_sequential, Cx, NullHooks, Runtime};
 use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
@@ -58,6 +59,12 @@ pub struct DriveConfig {
     /// paged table is the default; the legacy sharded store is kept for
     /// differential testing and the `shadow_paging` ablation.
     pub shadow: ShadowBackend,
+    /// Which `cp`/`gp` set-representation family the reachability engines
+    /// use. The adaptive inline/sparse/chunked family is the default; the
+    /// dense bitmap is kept for differential testing and the `set_repr`
+    /// ablation. Ignored by F-Order and WSP-Order (no future sets on
+    /// their hot path).
+    pub set_repr: SetRepr,
 }
 
 impl DriveConfig {
@@ -71,6 +78,7 @@ impl DriveConfig {
             policy: ReaderPolicy::All,
             batched: true,
             shadow: ShadowBackend::default(),
+            set_repr: SetRepr::default(),
         }
     }
 
@@ -85,6 +93,7 @@ impl DriveConfig {
             policy: ReaderPolicy::All,
             batched: true,
             shadow: ShadowBackend::default(),
+            set_repr: SetRepr::default(),
         }
     }
 }
@@ -169,7 +178,7 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
             Outcome { wall, report: None }
         }
         DetectorKind::SfOrder => {
-            detector_arm!(|m| SfDetector::with_backend(m, cfg.policy, cfg.shadow))
+            detector_arm!(|m| SfDetector::with_config(m, cfg.policy, cfg.shadow, cfg.set_repr))
         }
         DetectorKind::FOrder => detector_arm!(|m| FoDetector::with_backend(m, cfg.shadow)),
         DetectorKind::WspOrder => {
@@ -181,7 +190,7 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
                 "MultiBags requires the sequential runtime (its SP-bags invariant \
                  only holds for the serial depth-first execution)"
             );
-            detector_arm!(|m| MbDetector::with_backend(m, cfg.shadow))
+            detector_arm!(|m| MbDetector::with_config(m, cfg.shadow, cfg.set_repr))
         }
     }
 }

@@ -88,6 +88,11 @@ pub trait ReachEngine: Send + Sync + 'static {
     fn merges(&self) -> u64 {
         0
     }
+    /// Full `cp`/`gp` set-layer counters (allocation tiers, chunk sharing,
+    /// lineage fast exits); zeros for engines without sets.
+    fn set_stats_snapshot(&self) -> sfrd_reach::SetStatsSnapshot {
+        sfrd_reach::SetStatsSnapshot::default()
+    }
     /// Order-maintenance contention counters (zeros for engines without
     /// OM lists, e.g. MultiBags).
     fn om_stats(&self) -> sfrd_om::OmStats {
@@ -154,6 +159,7 @@ impl<E: ReachEngine> EventSink<E> {
             history_bytes: self.history.as_ref().map_or(0, |h| h.heap_bytes()),
             metrics: {
                 let om = self.engine.om_stats();
+                let set = self.engine.set_stats_snapshot();
                 MetricsSnapshot {
                     lock_ops: self.history.as_ref().map_or(0, |h| h.lock_ops()),
                     seqlock_hits: self.seqlock_hits.load(Ordering::Relaxed),
@@ -165,6 +171,15 @@ impl<E: ReachEngine> EventSink<E> {
                     shadow_fast_hits: self.history.as_ref().map_or(0, |h| h.fast_hits()),
                     shadow_cas_retries: self.history.as_ref().map_or(0, |h| h.cas_retries()),
                     page_allocs: self.history.as_ref().map_or(0, |h| h.page_allocs()),
+                    set_bytes: set.bytes,
+                    set_allocs: set.allocations,
+                    set_tier_inline: set.tier_inline,
+                    set_tier_sparse: set.tier_sparse,
+                    set_tier_chunked: set.tier_chunked,
+                    set_tier_dense: set.tier_dense,
+                    set_chunks_shared: set.chunks_shared,
+                    set_chunks_copied: set.chunks_copied,
+                    set_lineage_hits: set.lineage_hits,
                     ..MetricsSnapshot::default()
                 }
             },

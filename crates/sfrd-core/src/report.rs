@@ -174,6 +174,25 @@ pub struct MetricsSnapshot {
     pub shadow_cas_retries: u64,
     /// Shadow pages published into the page directory (paged backend).
     pub page_allocs: u64,
+    /// Cumulative fresh `cp`/`gp` set payload bytes (Fig. 5 / `set_repr`
+    /// ablation; excludes OM lists, unlike `reach_bytes`).
+    pub set_bytes: u64,
+    /// `cp`/`gp` set allocations.
+    pub set_allocs: u64,
+    /// Set allocations that landed in the inline tier (zero heap).
+    pub set_tier_inline: u64,
+    /// Set allocations that landed in the sparse tier.
+    pub set_tier_sparse: u64,
+    /// Set allocations that landed in the chunked tier.
+    pub set_tier_chunked: u64,
+    /// Set allocations in the dense baseline representation.
+    pub set_tier_dense: u64,
+    /// Chunks pointer-shared instead of copied by chunked-set derivations.
+    pub set_chunks_shared: u64,
+    /// Chunks copy-on-written by chunked-set derivations.
+    pub set_chunks_copied: u64,
+    /// Merges resolved O(1) by the monotone-lineage fast exit.
+    pub set_lineage_hits: u64,
 }
 
 impl MetricsSnapshot {

@@ -191,10 +191,7 @@ impl FoReach {
     }
 
     fn note_alloc(&self, t: &NspTable) {
-        self.stats.allocations.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .bytes_allocated
-            .fetch_add(table_bytes(t) as u64, Ordering::Relaxed);
+        self.stats.note_alloc_bytes(table_bytes(t) as u64);
     }
 
     /// The underlying order structure (for access-history comparisons).

@@ -34,13 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod chunked;
 pub mod f_order;
 pub mod hash;
 pub mod multibags;
 pub mod sf_order;
 pub mod sp_order;
 
-pub use bitmap::{FutureSet, SetStats};
+pub use bitmap::{FutureSet, SetRepr, SetStats, SetStatsSnapshot};
 pub use f_order::{FoReach, FoStrand};
 pub use multibags::{MbPos, MbReach, MbStrand};
 pub use sf_order::{SfPos, SfReach, SfStrand};

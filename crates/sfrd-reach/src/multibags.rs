@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use sfrd_dag::FutureId;
 
-use crate::bitmap::{merge, with_future, FutureSet, SetStats};
+use crate::bitmap::{merge, with_future, FutureSet, SetRepr, SetStats};
 
 /// A union-find element: one per task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,11 +153,17 @@ pub struct MbReach {
 }
 
 impl MbReach {
-    /// New engine; returns the root task's frame.
+    /// New engine with the default (adaptive) set representation; returns
+    /// the root task's frame.
     pub fn new() -> (Self, MbStrand) {
+        Self::with_repr(SetRepr::default())
+    }
+
+    /// New engine with an explicit `cp`/`gp` set-representation family.
+    pub fn with_repr(repr: SetRepr) -> (Self, MbStrand) {
         let mut uf = UnionFind::default();
         let e0 = uf.singleton(Kind::S);
-        let empty = Arc::new(FutureSet::empty());
+        let empty = Arc::new(FutureSet::empty_in(repr));
         let engine = Self {
             uf,
             next_future: 1,

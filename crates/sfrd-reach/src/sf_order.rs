@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use sfrd_dag::FutureId;
 
-use crate::bitmap::{merge, with_future, FutureSet, SetStats};
+use crate::bitmap::{merge, with_future, FutureSet, SetRepr, SetStats};
 use crate::sp_order::{SpOrder, SpTask, StrandPos};
 
 /// SF-Order's access-history key (shared across engines).
@@ -73,10 +73,18 @@ pub struct SfReach {
 }
 
 impl SfReach {
-    /// New engine; returns the root task's strand (future 0).
+    /// New engine with the default (adaptive) set representation; returns
+    /// the root task's strand (future 0).
     pub fn new() -> (Self, SfStrand) {
+        Self::with_repr(SetRepr::default())
+    }
+
+    /// New engine with an explicit `cp`/`gp` set-representation family
+    /// (the dense baseline is kept for the `set_repr` ablation and
+    /// differential testing).
+    pub fn with_repr(repr: SetRepr) -> (Self, SfStrand) {
         let (sp, task) = SpOrder::new();
-        let empty = Arc::new(FutureSet::empty());
+        let empty = Arc::new(FutureSet::empty_in(repr));
         let engine = Self {
             sp,
             next_future: AtomicU32::new(1),
@@ -309,7 +317,10 @@ mod tests {
         eng.task_end(&mut f);
         eng.get(&mut root, &f);
         assert!(eng.heap_bytes() > 0);
-        let (allocs, bytes, _) = eng.set_stats().snapshot();
-        assert!(allocs >= 1 && bytes > 0);
+        // Tiny adaptive sets live in the inline tier: allocations are
+        // counted but their payload is heap-free.
+        let snap = eng.set_stats().full_snapshot();
+        assert!(snap.allocations >= 1 && snap.tier_inline >= 1);
+        assert_eq!(snap.bytes, 0, "inline-tier sets must be payload-free");
     }
 }

@@ -28,8 +28,8 @@ pub use sfrd_workloads as workloads;
 pub mod prelude {
     pub use sfrd_core::{
         drive, Detector, DetectorKind, DriveConfig, FastPath, FutureHandle, Mode, MultiBags,
-        RaceReport, ReachOnly, SfOrder, ShadowArray, ShadowCell, ShadowMatrix, Strand, Workload,
-        WspDetector,
+        RaceReport, ReachOnly, SetRepr, SfOrder, ShadowArray, ShadowCell, ShadowMatrix, Strand,
+        Workload, WspDetector,
     };
     pub use sfrd_runtime::{Cx, RuntimeConfig};
     pub use sfrd_shadow::{ReaderPolicy, ShadowBackend};

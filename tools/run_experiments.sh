@@ -50,7 +50,8 @@ run() {
 
 run fig3_characteristics results_fig3_"$SCALE".txt --scale "$SCALE"
 run fig5_memory          results_fig5_"$SCALE".txt --scale "$SCALE"
-run k_scaling            results_kscaling.txt
+# --json: the dense-vs-adaptive sweep also lands in the BENCH trajectory.
+run k_scaling            results_kscaling.txt --json
 # fig4 last: it is timing-sensitive, keep the machine quiet.
 run fig4_times           results_fig4_"$SCALE".txt --scale "$SCALE" --workers "$WORKERS" --reps "$REPS"
 
@@ -58,5 +59,10 @@ run fig4_times           results_fig4_"$SCALE".txt --scale "$SCALE" --workers "$
 # hw across worker counts; the counter lines land on stderr -> the log.
 echo ">> ablation shadow_paging -> results_ablation_shadow.txt"
 cargo bench -p sfrd-bench --bench ablation -- shadow_paging 2>&1 | tee results_ablation_shadow.txt
+
+# Set-representation ablation (EXPERIMENTS.md): dense vs adaptive cp/gp
+# sets on the future-heavy hw workload, reach + full configurations.
+echo ">> ablation set_repr -> results_ablation_sets.txt"
+cargo bench -p sfrd-bench --bench ablation -- set_repr 2>&1 | tee results_ablation_sets.txt
 
 echo ">> done (scale=$SCALE workers=$WORKERS reps=$REPS); see results_*.txt"

@@ -8,7 +8,7 @@
 //!   access history is out of the picture.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, ReaderPolicy};
+use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, ReaderPolicy, SchedBackend};
 use sfrd_workloads::{make_bench, Scale};
 use std::hint::black_box;
 
@@ -268,6 +268,48 @@ fn set_repr(c: &mut Criterion) {
     g.finish();
 }
 
+/// The scheduler-deque ablation (DESIGN.md §10): the retired mutex-backed
+/// deque stand-in vs the in-crate lock-free Chase-Lev scheduler across
+/// worker counts, on the spawn-dense sw workload under full SF-Order
+/// detection. Scheduler counters (steals, retries, parks) are reported
+/// once per cell before the timing loop.
+fn sched_deque(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/sched_deque");
+    g.sample_size(10);
+    for (label, sched) in [
+        ("mutex", SchedBackend::MutexDeque),
+        ("lev", SchedBackend::ChaseLev),
+    ] {
+        for workers in [1usize, 2, 4, 8] {
+            let w = make_bench("sw", Scale::Small, workers as u64);
+            let cfg = DriveConfig {
+                sched,
+                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+            };
+            let rep = drive(&w, cfg).report.expect("Full mode returns a report");
+            eprintln!(
+                "sched_deque/{label}/w{workers}: tasks_run={} steals={}                  steal_retries={} parks={} wakeups={}",
+                rep.metrics.sched_tasks_run,
+                rep.metrics.sched_steals,
+                rep.metrics.sched_steal_retries,
+                rep.metrics.sched_parks,
+                rep.metrics.sched_wakeups,
+            );
+            g.bench_function(format!("{label}/w{workers}"), |b| {
+                b.iter(|| {
+                    let w = make_bench("sw", Scale::Small, workers as u64);
+                    let cfg = DriveConfig {
+                        sched,
+                        ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                    };
+                    black_box(drive(&w, cfg));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     ablation,
     reader_policy,
@@ -276,6 +318,7 @@ criterion_group!(
     shadow_batching,
     om_contention,
     shadow_paging,
-    set_repr
+    set_repr,
+    sched_deque
 );
 criterion_main!(ablation);

@@ -107,16 +107,16 @@ fn main() {
     }
     print!("{}", t.render());
     if let Some(path) = &args.json {
-        let label = args
-            .json_label
-            .clone()
-            .unwrap_or_else(|| format!("{:?}-{shadow}-w{p}", args.scale).to_lowercase());
+        let label = args.json_label.clone().unwrap_or_else(|| {
+            format!("{:?}-{shadow}-{}-w{p}", args.scale, args.sched.label()).to_lowercase()
+        });
         let snap = Json::obj()
             .field("label", label)
             .field("scale", format!("{:?}", args.scale).to_lowercase())
             .field("workers", p)
             .field("reps", args.reps)
             .field("shadow", shadow.as_str())
+            .field("sched", args.sched.label())
             .field("benches", bench_objects);
         append_snapshot(path, snap);
         eprintln!("appended snapshot to {path}");

@@ -23,8 +23,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sfrd_core::{
-    drive, DetectorKind, DriveConfig, Mode, Outcome, RaceReport, RecordingHooks, SetRepr,
-    ShadowBackend, Workload,
+    drive, DetectorKind, DriveConfig, Mode, Outcome, RaceReport, RecordingHooks, SchedBackend,
+    SetRepr, ShadowBackend, Workload,
 };
 use sfrd_runtime::run_sequential;
 use sfrd_workloads::{make_bench, AnyBench, Scale, BENCH_NAMES};
@@ -52,6 +52,10 @@ pub struct HarnessArgs {
     /// `cp`/`gp` set representation (`--set-repr dense|adaptive`; default
     /// adaptive).
     pub set_repr: SetRepr,
+    /// Scheduler queue backend (`--sched lev|mutex`; default lev — the
+    /// lock-free Chase-Lev deques; mutex is the `sched_deque` ablation
+    /// baseline).
+    pub sched: SchedBackend,
 }
 
 impl HarnessArgs {
@@ -66,6 +70,7 @@ impl HarnessArgs {
         let mut json_label = None;
         let mut shadow = ShadowBackend::default();
         let mut set_repr = SetRepr::default();
+        let mut sched = SchedBackend::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -126,6 +131,13 @@ impl HarnessArgs {
                         other => usage(&format!("bad --set-repr {other:?}")),
                     }
                 }
+                "--sched" => {
+                    sched = args
+                        .next()
+                        .as_deref()
+                        .and_then(SchedBackend::parse)
+                        .unwrap_or_else(|| usage("bad --sched (lev|mutex)"));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -142,6 +154,7 @@ impl HarnessArgs {
             json_label,
             shadow,
             set_repr,
+            sched,
         }
     }
 
@@ -151,6 +164,7 @@ impl HarnessArgs {
         DriveConfig {
             shadow: self.shadow,
             set_repr: self.set_repr,
+            sched: self.sched,
             ..DriveConfig::with(kind, mode, workers)
         }
     }
@@ -163,7 +177,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale small|medium|paper] [--workers N] [--reps N] \
          [--bench mm|sort|sw|hw|ferret]... [--shadow sharded|paged] \
-         [--set-repr dense|adaptive] [--json] [--json-out PATH] [--json-label NAME]"
+         [--set-repr dense|adaptive] [--sched lev|mutex] [--json] \
+         [--json-out PATH] [--json-label NAME]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -286,6 +301,11 @@ pub fn report_json(rep: &RaceReport) -> Json {
         .field("set_chunks_shared", rep.metrics.set_chunks_shared)
         .field("set_chunks_copied", rep.metrics.set_chunks_copied)
         .field("set_lineage_hits", rep.metrics.set_lineage_hits)
+        .field("sched_tasks_run", rep.metrics.sched_tasks_run)
+        .field("sched_steals", rep.metrics.sched_steals)
+        .field("sched_steal_retries", rep.metrics.sched_steal_retries)
+        .field("sched_parks", rep.metrics.sched_parks)
+        .field("sched_wakeups", rep.metrics.sched_wakeups)
 }
 
 /// One timed cell as a trajectory-row JSON object (shape shared by

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sfrd_reach::SetRepr;
-use sfrd_runtime::{run_sequential, Cx, NullHooks, Runtime};
+use sfrd_runtime::{run_sequential, Cx, NullHooks, PoolStats, Runtime, SchedBackend};
 use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
 use crate::detectors::{FoDetector, MbDetector, Mode, SfDetector};
@@ -65,6 +65,10 @@ pub struct DriveConfig {
     /// ablation. Ignored by F-Order and WSP-Order (no future sets on
     /// their hot path).
     pub set_repr: SetRepr,
+    /// Which queue backend the work-stealing pool uses. The lock-free
+    /// Chase-Lev scheduler is the default; the mutex-deque baseline is
+    /// kept for the `sched_deque` ablation. Ignored when `sequential`.
+    pub sched: SchedBackend,
 }
 
 impl DriveConfig {
@@ -79,6 +83,7 @@ impl DriveConfig {
             batched: true,
             shadow: ShadowBackend::default(),
             set_repr: SetRepr::default(),
+            sched: SchedBackend::default(),
         }
     }
 
@@ -94,6 +99,7 @@ impl DriveConfig {
             batched: true,
             shadow: ShadowBackend::default(),
             set_repr: SetRepr::default(),
+            sched: SchedBackend::default(),
         }
     }
 }
@@ -111,21 +117,33 @@ pub struct Outcome {
 pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
     use crate::detectors::ReachOnly;
 
-    /// Time one execution of `w` under hooks `det` on the configured runtime.
+    /// Time one execution of `w` under hooks `det` on the configured
+    /// runtime, returning scheduler statistics when a pool was used.
     fn timed<H: sfrd_runtime::TaskHooks, W: Workload>(
         w: &W,
         det: Arc<H>,
         cfg: &DriveConfig,
-    ) -> Duration {
+    ) -> (Duration, Option<PoolStats>) {
         if cfg.sequential {
             let t0 = Instant::now();
             run_sequential(&*det, |ctx| w.run(ctx));
-            t0.elapsed()
+            (t0.elapsed(), None)
         } else {
-            let rt: Runtime<H> = Runtime::new(cfg.workers);
+            let rt: Runtime<H> = Runtime::with_sched(cfg.workers, cfg.sched);
             let t0 = Instant::now();
             rt.run(det, |ctx| w.run(ctx));
-            t0.elapsed()
+            (t0.elapsed(), Some(rt.stats()))
+        }
+    }
+
+    /// Copy pool statistics into the report's metrics block.
+    fn merge_sched(report: &mut RaceReport, stats: Option<PoolStats>) {
+        if let Some(s) = stats {
+            report.metrics.sched_tasks_run = s.tasks_run;
+            report.metrics.sched_steals = s.steals;
+            report.metrics.sched_steal_retries = s.steal_retries;
+            report.metrics.sched_parks = s.parks;
+            report.metrics.sched_wakeups = s.wakeups;
         }
     }
 
@@ -137,12 +155,13 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
                 // lock per touched shard).
                 Mode::Full if cfg.batched => {
                     let det = Arc::new(sfrd_runtime::Batched::new($make(Mode::Full)));
-                    let wall = timed(w, Arc::clone(&det), &cfg);
+                    let (wall, stats) = timed(w, Arc::clone(&det), &cfg);
                     let mut report = det.inner().report();
                     let bs = det.stats();
                     report.metrics.batch_flushes = bs.flushes;
                     report.metrics.batched_accesses = bs.recorded;
                     report.metrics.filtered_accesses = bs.filtered;
+                    merge_sched(&mut report, stats);
                     Outcome {
                         wall,
                         report: Some(report),
@@ -150,10 +169,12 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
                 }
                 Mode::Full => {
                     let det = Arc::new($make(Mode::Full));
-                    let wall = timed(w, Arc::clone(&det), &cfg);
+                    let (wall, stats) = timed(w, Arc::clone(&det), &cfg);
+                    let mut report = det.report();
+                    merge_sched(&mut report, stats);
                     Outcome {
                         wall,
-                        report: Some(det.report()),
+                        report: Some(report),
                     }
                 }
                 // The reach configuration is a separate "build": the
@@ -162,10 +183,12 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
                 // reach binaries.
                 Mode::Reach => {
                     let det = Arc::new(ReachOnly($make(Mode::Reach)));
-                    let wall = timed(w, Arc::clone(&det), &cfg);
+                    let (wall, stats) = timed(w, Arc::clone(&det), &cfg);
+                    let mut report = det.0.report();
+                    merge_sched(&mut report, stats);
                     Outcome {
                         wall,
-                        report: Some(det.0.report()),
+                        report: Some(report),
                     }
                 }
             }
@@ -174,7 +197,7 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
 
     match cfg.detector {
         DetectorKind::None => {
-            let wall = timed(w, Arc::new(NullHooks), &cfg);
+            let (wall, _) = timed(w, Arc::new(NullHooks), &cfg);
             Outcome { wall, report: None }
         }
         DetectorKind::SfOrder => {

@@ -58,6 +58,7 @@ pub use events::{EventSink, ReachEngine};
 pub use fastpath::{FastPath, FpStrand};
 pub use recording::{GenWorkload, RecordingHooks};
 pub use report::{CountsSnapshot, MetricsSnapshot, Race, RaceCollector, RaceKind, RaceReport};
+pub use sfrd_runtime::SchedBackend;
 pub use shared::{ShadowArray, ShadowCell, ShadowMatrix};
 pub use wsp::{WspDetector, WspEngine, WspStrand};
 

@@ -193,6 +193,16 @@ pub struct MetricsSnapshot {
     pub set_chunks_copied: u64,
     /// Merges resolved O(1) by the monotone-lineage fast exit.
     pub set_lineage_hits: u64,
+    /// Scheduler: tasks executed by the work-stealing pool.
+    pub sched_tasks_run: u64,
+    /// Scheduler: tasks obtained by stealing (injector or sibling deque).
+    pub sched_steals: u64,
+    /// Scheduler: steal attempts that lost a CAS race and retried.
+    pub sched_steal_retries: u64,
+    /// Scheduler: times a pool thread slept on the eventcount.
+    pub sched_parks: u64,
+    /// Scheduler: times a sleeping pool thread was woken.
+    pub sched_wakeups: u64,
 }
 
 impl MetricsSnapshot {

@@ -35,7 +35,8 @@
 //! identical allocation and merge counts (the differential-test
 //! invariant).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use sfrd_runtime::sync::AtomicU32;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sfrd_dag::FutureId;

@@ -1,0 +1,381 @@
+//! Lock-free MPMC segment queue for externally submitted root jobs.
+//!
+//! A linked list of fixed-size segments with two monotone ticket counters:
+//! producers claim `tail` tickets, consumers claim `head` tickets, and a
+//! ticket maps to segment `ticket / SEG_SLOTS`, slot `ticket % SEG_SLOTS`.
+//! Each slot carries a state word (EMPTY → WRITTEN → READ) so a consumer
+//! whose ticket raced ahead of the producer's slot write spin-waits on that
+//! slot alone. The design follows the classic segment-queue (crossbeam's
+//! `SegQueue`): the thread that claims the *last* ticket of a segment is
+//! responsible for linking/advancing to the next segment, and every claimant
+//! read its segment pointer *before* the claiming CAS — the pointer can only
+//! be swung by the boundary claimant after the counter passes the boundary,
+//! so a successful CAS proves the pointer was current (no lost route to a
+//! slot).
+//!
+//! Consumed segments are retired to a Treiber stack and freed only when a
+//! quiescence counter (`guards`) shows no thread inside any operation — the
+//! same SeqCst announce/check handshake as the Chase-Lev buffer reclamation.
+//!
+//! All atomics go through [`crate::sync`], so the model checker drives this
+//! queue through thousands of interleavings alongside the deque.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+
+use crate::chase_lev::Steal;
+use crate::sync::{spin_loop, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+const SEG_SLOTS: usize = 32;
+
+const EMPTY: u32 = 0;
+const WRITTEN: u32 = 1;
+const READ: u32 = 2;
+
+struct Slot<T> {
+    state: AtomicU32,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Segment<T> {
+    /// First ticket owned by this segment.
+    base: u64,
+    /// Forward link to the segment at `base + SEG_SLOTS`.
+    next: AtomicPtr<Segment<T>>,
+    /// Treiber-stack link used only after retirement.
+    retired_next: AtomicPtr<Segment<T>>,
+    slots: Box<[Slot<T>]>,
+}
+
+impl<T> Segment<T> {
+    fn alloc(base: u64) -> *mut Segment<T> {
+        let slots = (0..SEG_SLOTS)
+            .map(|_| Slot {
+                state: AtomicU32::new(EMPTY),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Segment {
+            base,
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            retired_next: AtomicPtr::new(std::ptr::null_mut()),
+            slots,
+        }))
+    }
+}
+
+/// A lock-free MPMC FIFO injection queue.
+pub struct Injector<T> {
+    head: AtomicU64,
+    tail: AtomicU64,
+    head_seg: AtomicPtr<Segment<T>>,
+    tail_seg: AtomicPtr<Segment<T>>,
+    /// Threads currently inside push/steal (quiescence for reclamation).
+    guards: AtomicUsize,
+    /// Treiber stack of consumed segments awaiting a quiescent free.
+    retired: AtomicPtr<Segment<T>>,
+}
+
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Self {
+        let seg = Segment::alloc(0);
+        Self {
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            head_seg: AtomicPtr::new(seg),
+            tail_seg: AtomicPtr::new(seg),
+            guards: AtomicUsize::new(0),
+            retired: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Is the queue (racily) empty?
+    pub fn is_empty(&self) -> bool {
+        let h = self.head.load(Ordering::SeqCst);
+        let t = self.tail.load(Ordering::SeqCst);
+        h >= t
+    }
+
+    /// Queued item count (racy snapshot).
+    pub fn len(&self) -> usize {
+        let h = self.head.load(Ordering::SeqCst);
+        let t = self.tail.load(Ordering::SeqCst);
+        t.saturating_sub(h) as usize
+    }
+
+    #[inline]
+    fn enter(&self) {
+        self.guards.fetch_add(1, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn exit(&self) {
+        self.guards.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Push onto the tail. Lock-free: a lost CAS means another producer
+    /// claimed the ticket; loop until we claim one.
+    pub fn push(&self, v: T) {
+        self.enter();
+        loop {
+            // Read the segment pointer BEFORE claiming: the pointer is only
+            // swung after `tail` passes the segment boundary, so if the CAS
+            // below succeeds the pointer was current for our ticket.
+            let seg = self.tail_seg.load(Ordering::SeqCst);
+            let t = self.tail.load(Ordering::SeqCst);
+            let base = unsafe { (*seg).base };
+            if t < base || t >= base + SEG_SLOTS as u64 {
+                // Boundary swing in progress by another producer; wait for
+                // the pointer to catch up with the counter.
+                spin_loop();
+                continue;
+            }
+            if self
+                .tail
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let slot = unsafe { &(*seg).slots[(t - base) as usize] };
+            unsafe { (*slot.value.get()).write(v) };
+            slot.state.store(WRITTEN, Ordering::Release);
+            if t - base == SEG_SLOTS as u64 - 1 {
+                // Last ticket of this segment: link and publish the next.
+                let next = Segment::alloc(base + SEG_SLOTS as u64);
+                unsafe { (*seg).next.store(next, Ordering::Release) };
+                self.tail_seg.store(next, Ordering::SeqCst);
+            }
+            break;
+        }
+        self.exit();
+    }
+
+    /// Take from the head. `Retry` means the claiming CAS was lost to
+    /// another consumer (which made progress).
+    pub fn steal(&self) -> Steal<T> {
+        self.enter();
+        let out = self.steal_inner();
+        self.exit();
+        out
+    }
+
+    fn steal_inner(&self) -> Steal<T> {
+        let seg = self.head_seg.load(Ordering::SeqCst);
+        let h = self.head.load(Ordering::SeqCst);
+        if h >= self.tail.load(Ordering::SeqCst) {
+            return Steal::Empty;
+        }
+        let base = unsafe { (*seg).base };
+        if h < base || h >= base + SEG_SLOTS as u64 {
+            // Boundary swing in progress by another consumer.
+            return Steal::Retry;
+        }
+        if self
+            .head
+            .compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        // Ticket h claimed. head < tail guaranteed a producer claimed this
+        // ticket too, so the slot write is coming: wait on this slot alone.
+        let slot = unsafe { &(*seg).slots[(h - base) as usize] };
+        while slot.state.load(Ordering::Acquire) != WRITTEN {
+            spin_loop();
+        }
+        let v = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.state.store(READ, Ordering::Release);
+        if h - base == SEG_SLOTS as u64 - 1 {
+            // Last ticket of the segment: swing head_seg to the next
+            // segment (its link must exist because tail passed the
+            // boundary; the linking producer may still be mid-store).
+            let next = loop {
+                let n = unsafe { (*seg).next.load(Ordering::Acquire) };
+                if !n.is_null() {
+                    break n;
+                }
+                spin_loop();
+            };
+            self.head_seg.store(next, Ordering::SeqCst);
+            self.retire(seg);
+        }
+        Steal::Success(v)
+    }
+
+    /// Push a fully-consumed segment onto the retired stack, then free the
+    /// whole stack if no other thread is inside an operation.
+    fn retire(&self, seg: *mut Segment<T>) {
+        loop {
+            let top = self.retired.load(Ordering::Acquire);
+            unsafe { (*seg).retired_next.store(top, Ordering::Relaxed) };
+            if self
+                .retired
+                .compare_exchange(top, seg, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        // Quiescence check: we are one of the guards, so == 1 means we are
+        // alone; any later entrant re-reads head_seg/tail_seg and can no
+        // longer reach retired segments (both pointers have moved past).
+        if self.guards.load(Ordering::SeqCst) == 1 {
+            let stack = self.retired.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            let mut p = stack;
+            while !p.is_null() {
+                let next = unsafe { (*p).retired_next.load(Ordering::Relaxed) };
+                unsafe { drop(Box::from_raw(p)) };
+                p = next;
+            }
+        }
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        // Sole owner: drain unconsumed items, then free the live segment
+        // chain and the retired stack.
+        let h = *self.head.get_mut();
+        let t = *self.tail.get_mut();
+        let mut seg = *self.head_seg.get_mut();
+        for ticket in h..t {
+            unsafe {
+                let base = (*seg).base;
+                if ticket >= base + SEG_SLOTS as u64 {
+                    let next = *(*seg).next.get_mut();
+                    drop(Box::from_raw(seg));
+                    seg = next;
+                }
+                let base = (*seg).base;
+                let slot = &mut (*seg).slots[(ticket - base) as usize];
+                if *slot.state.get_mut() == WRITTEN {
+                    drop((*slot.value.get()).assume_init_read());
+                }
+            }
+        }
+        // Free the remaining chain from `seg` forward.
+        while !seg.is_null() {
+            let next = unsafe { *(*seg).next.get_mut() };
+            unsafe { drop(Box::from_raw(seg)) };
+            seg = next;
+        }
+        // Free the retired stack.
+        let mut p = *self.retired.get_mut();
+        while !p.is_null() {
+            let next = unsafe { *(*p).retired_next.get_mut() };
+            unsafe { drop(Box::from_raw(p)) };
+            p = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = Injector::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.steal().success(), Some(i));
+        }
+        assert!(matches!(q.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn crosses_segment_boundaries() {
+        let q = Injector::new();
+        let n = (SEG_SLOTS * 5 + 7) as u64;
+        for i in 0..n {
+            q.push(i);
+        }
+        assert_eq!(q.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(q.steal().success(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_queued_items() {
+        let q = Injector::new();
+        let probe = std::sync::Arc::new(0usize);
+        for _ in 0..(SEG_SLOTS * 2 + 3) {
+            q.push(std::sync::Arc::clone(&probe));
+        }
+        // Consume a segment and a half so dropped state is mixed.
+        for _ in 0..(SEG_SLOTS + SEG_SLOTS / 2) {
+            assert!(q.steal().success().is_some());
+        }
+        drop(q);
+        assert_eq!(std::sync::Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn threaded_exactly_once() {
+        use std::sync::atomic::{AtomicU64 as StdU64, Ordering as StdOrd};
+        use std::sync::Arc;
+        const PER_PRODUCER: u64 = 4096;
+        const PRODUCERS: u64 = 3;
+        const CONSUMERS: usize = 3;
+        let q = Arc::new(Injector::new());
+        let taken = Arc::new(StdU64::new(0));
+        let sum = Arc::new(StdU64::new(0));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        let total = PRODUCERS * PER_PRODUCER;
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let taken = Arc::clone(&taken);
+                let sum = Arc::clone(&sum);
+                std::thread::spawn(move || loop {
+                    match q.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, StdOrd::Relaxed);
+                            taken.fetch_add(1, StdOrd::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if taken.load(StdOrd::Relaxed) == total {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        for h in consumers {
+            h.join().unwrap();
+        }
+        assert_eq!(taken.load(StdOrd::Relaxed), total);
+        assert_eq!(sum.load(StdOrd::Relaxed), total * (total - 1) / 2);
+    }
+}

@@ -35,13 +35,18 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod chase_lev;
 pub mod hooks;
+pub mod injector;
+#[cfg(sfrd_model)]
+pub mod model;
 pub mod parallel;
 pub mod sequential;
+pub mod sync;
 
 pub use batch::{AccessBatch, BatchStats, BatchStrand, Batched, BatchedAccess, VerdictCache};
 pub use hooks::{Cx, NullHooks, TaskHooks};
-pub use parallel::{FutureHandle, ParCtx, PoolStats, Runtime};
+pub use parallel::{FutureHandle, ParCtx, PoolStats, Runtime, SchedBackend};
 pub use sequential::{run_sequential, SeqCtx, SeqHandle};
 
 /// How to execute a program under test.

@@ -1,12 +1,21 @@
 //! The work-stealing parallel runtime.
 //!
 //! Stands in for the paper's extended Cilk-F runtime (DESIGN.md §7): a
-//! fixed pool of workers with per-worker LIFO deques (crossbeam-deque),
-//! child-stealing (`spawn`/`create` push the child; the continuation keeps
-//! running), and *work-helping* joins — a task blocked at `sync`/`get`
-//! executes other ready tasks instead of sleeping, so join chains never
-//! deadlock (the waited-on task is either in some deque, where the waiter
-//! can claim it, or running on another worker, which makes progress).
+//! fixed pool of workers with per-worker LIFO deques (the in-crate
+//! lock-free [`crate::chase_lev`] deque), child-stealing (`spawn`/`create`
+//! push the child; the continuation keeps running), and *work-helping*
+//! joins — a task blocked at `sync`/`get` executes other ready tasks
+//! instead of sleeping, so join chains never deadlock (the waited-on task
+//! is either in some deque, where the waiter can claim it, or running on
+//! another worker, which makes progress).
+//!
+//! The scheduler hot path (push/pop/steal) performs **zero mutex
+//! acquisitions**: local deques are Chase-Lev, root jobs ride the lock-free
+//! segment-queue [`crate::injector`], and sleeping is an eventcount
+//! (announce → epoch snapshot → rescan → sleep-if-unchanged) whose mutex is
+//! touched only when a worker actually runs out of work. The retired
+//! `Mutex<VecDeque>` queues survive as [`SchedBackend::MutexDeque`], the
+//! baseline arm of the `sched_deque` ablation.
 //!
 //! Scoped soundness: [`Runtime::run`] does not return until the global
 //! pending-job count reaches zero — including *escaping futures* that
@@ -14,16 +23,18 @@
 //! the caller's stack (`'env`). Internally job boxes erase that lifetime;
 //! the quiescence barrier is what makes the erasure sound.
 
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
-use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 
+use crate::chase_lev::{Steal, Stealer as LevStealer, Worker as LevWorker};
 use crate::hooks::{Cx, TaskHooks};
+use crate::injector::Injector as LevInjector;
+use crate::sync::Mutex as CensusMutex;
 
 /// A ready task. Lifetime-erased; see module docs.
 type Job<H> = Box<dyn FnOnce(&WorkerCore<H>) + Send>;
@@ -31,14 +42,138 @@ type Job<H> = Box<dyn FnOnce(&WorkerCore<H>) + Send>;
 /// A ready task still carrying its scope lifetime (pre-erasure).
 type ScopedJob<'scope, H> = Box<dyn FnOnce(&WorkerCore<H>) + Send + 'scope>;
 
+/// Which queue implementation backs the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedBackend {
+    /// Lock-free Chase-Lev deques + segment-queue injector (default).
+    #[default]
+    ChaseLev,
+    /// `Mutex<VecDeque>` queues — the semantics of the retired vendored
+    /// crossbeam-deque stand-in, kept as the `sched_deque` ablation
+    /// baseline. Uses the census-counted [`crate::sync::Mutex`], so the
+    /// model checker can demonstrate the lock-op contrast.
+    MutexDeque,
+}
+
+impl SchedBackend {
+    /// Short label used in benchmark output ("lev" / "mutex").
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedBackend::ChaseLev => "lev",
+            SchedBackend::MutexDeque => "mutex",
+        }
+    }
+
+    /// Parse a benchmark flag value ("lev" / "mutex").
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lev" | "chase-lev" | "chase_lev" => Some(SchedBackend::ChaseLev),
+            "mutex" | "mutex-deque" | "mutex_deque" => Some(SchedBackend::MutexDeque),
+            _ => None,
+        }
+    }
+}
+
+/// The ablation baseline: a locked VecDeque usable as local deque (LIFO
+/// owner end), stealer (FIFO cold end), or injector (FIFO).
+struct MutexQueue<T> {
+    q: CensusMutex<VecDeque<T>>,
+}
+
+impl<T> MutexQueue<T> {
+    fn new() -> Self {
+        Self {
+            q: CensusMutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push_back(&self, v: T) {
+        self.q.lock().push_back(v);
+    }
+
+    fn pop_back(&self) -> Option<T> {
+        self.q.lock().pop_back()
+    }
+
+    fn pop_front(&self) -> Option<T> {
+        self.q.lock().pop_front()
+    }
+}
+
+/// A worker's own queue end: LIFO push/pop.
+enum LocalQueue<T> {
+    Lev(LevWorker<T>),
+    Mutex(Arc<MutexQueue<T>>),
+}
+
+impl<T> LocalQueue<T> {
+    fn push(&self, v: T) {
+        match self {
+            LocalQueue::Lev(w) => w.push(v),
+            LocalQueue::Mutex(q) => q.push_back(v),
+        }
+    }
+
+    fn pop(&self) -> Option<T> {
+        match self {
+            LocalQueue::Lev(w) => w.pop(),
+            LocalQueue::Mutex(q) => q.pop_back(),
+        }
+    }
+}
+
+/// A thief's handle to some worker's queue: FIFO steals.
+enum AnyStealer<T> {
+    Lev(LevStealer<T>),
+    Mutex(Arc<MutexQueue<T>>),
+}
+
+impl<T> AnyStealer<T> {
+    fn steal(&self) -> Steal<T> {
+        match self {
+            AnyStealer::Lev(s) => s.steal(),
+            AnyStealer::Mutex(q) => match q.pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            },
+        }
+    }
+}
+
+/// The shared root-job queue.
+enum AnyInjector<T> {
+    Lev(LevInjector<T>),
+    Mutex(MutexQueue<T>),
+}
+
+impl<T> AnyInjector<T> {
+    fn push(&self, v: T) {
+        match self {
+            AnyInjector::Lev(q) => q.push(v),
+            AnyInjector::Mutex(q) => q.push_back(v),
+        }
+    }
+
+    fn steal(&self) -> Steal<T> {
+        match self {
+            AnyInjector::Lev(q) => q.steal(),
+            AnyInjector::Mutex(q) => match q.pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            },
+        }
+    }
+}
+
 /// State shared by all workers and the scope owner.
 struct Shared<H: TaskHooks> {
-    injector: Injector<Job<H>>,
-    stealers: Box<[Stealer<Job<H>>]>,
+    injector: AnyInjector<Job<H>>,
+    stealers: Box<[AnyStealer<Job<H>>]>,
     /// Jobs pushed but not yet finished (queued + running).
     pending: AtomicUsize,
-    /// Threads currently blocked in [`Shared::wait_notification`].
+    /// Threads currently inside [`Shared::park_wait`].
     parked: AtomicUsize,
+    /// Eventcount epoch: bumped under the lock by every notification.
     epoch: Mutex<u64>,
     cv: Condvar,
     shutdown: AtomicBool,
@@ -48,17 +183,28 @@ struct Shared<H: TaskHooks> {
     tasks_run: AtomicU64,
     /// Tasks obtained by stealing (from the injector or a sibling deque).
     steals: AtomicU64,
+    /// Steal attempts that lost a CAS race and had to retry.
+    steal_retries: AtomicU64,
+    /// Times a thread went to sleep in [`Shared::park_wait`].
+    parks: AtomicU64,
+    /// Times a sleeping thread was woken.
+    wakeups: AtomicU64,
 }
 
 impl<H: TaskHooks> Shared<H> {
-    /// Wake all sleepers if any are registered. Cheap when nobody sleeps:
-    /// one relaxed load on the caller's hot path. Relaxed is enough — a
-    /// stale zero can only miss a sleeper that registered concurrently,
-    /// and the 200µs bounded sleep in [`Shared::wait_notification`]
-    /// already covers that register-vs-notify race (the previous `SeqCst`
-    /// load paid a fence per task push without closing it either).
+    /// Wake all sleepers if any are registered: broadcast, used on task
+    /// completion (several `help_until` waiters may each be blocked on a
+    /// *different* child's completion).
+    ///
+    /// The SeqCst fence is the eventcount's Dekker arbitration with
+    /// [`Shared::park_wait`]'s announce: either we observe the sleeper's
+    /// `parked` increment (and deliver an epoch bump + wakeup), or the
+    /// sleeper's announce is ordered after our fence, in which case its
+    /// rescan — which follows the announce — observes the work we published
+    /// before the fence. A wakeup is never lost.
     #[inline]
     fn notify(&self) {
+        fence(Ordering::SeqCst);
         if self.parked.load(Ordering::Relaxed) > 0 {
             self.force_notify();
         }
@@ -66,12 +212,10 @@ impl<H: TaskHooks> Shared<H> {
 
     /// Wake at most one sleeper. Used on the task-push path: one new job
     /// needs one worker, and any woken worker can claim it via
-    /// [`WorkerCore::find_job`]. Completion events keep the broadcast
-    /// [`Shared::notify`] — several `help_until` waiters may each be
-    /// blocked on a *different* child's completion, and `notify_one`
-    /// could wake the wrong one.
+    /// [`WorkerCore::find_job`]. Same fence pairing as [`Shared::notify`].
     #[inline]
     fn notify_one(&self) {
+        fence(Ordering::SeqCst);
         if self.parked.load(Ordering::Relaxed) > 0 {
             let mut e = self.epoch.lock();
             *e = e.wrapping_add(1);
@@ -85,15 +229,36 @@ impl<H: TaskHooks> Shared<H> {
         self.cv.notify_all();
     }
 
-    /// Sleep until notified or a short timeout elapses (the timeout bounds
-    /// the register-vs-notify race without a handshake).
-    fn wait_notification(&self) {
+    /// Eventcount sleep: announce, snapshot the epoch, rescan for work,
+    /// and sleep only if the rescan found nothing, `cancel` doesn't hold,
+    /// and no notification landed since the snapshot (epoch unchanged).
+    ///
+    /// Every notifier bumps the epoch under the lock before signalling, and
+    /// publishes its work *before* its fence + `parked` check; combined
+    /// with the SeqCst announce here, a notification concurrent with this
+    /// call either changes the epoch (we skip the sleep) or is ordered
+    /// before the announce (the rescan/cancel observes the work). Sleeps
+    /// are therefore untimed — no periodic-poll wakeups burn idle CPUs, and
+    /// shutdown needs exactly one broadcast (see `Drop for Runtime`).
+    fn park_wait<T>(
+        &self,
+        rescan: impl FnOnce() -> Option<T>,
+        cancel: impl Fn() -> bool,
+    ) -> Option<T> {
         self.parked.fetch_add(1, Ordering::SeqCst);
-        {
+        fence(Ordering::SeqCst);
+        let e1 = *self.epoch.lock();
+        let found = rescan();
+        if found.is_none() && !cancel() && !self.shutdown.load(Ordering::Acquire) {
             let mut e = self.epoch.lock();
-            self.cv.wait_for(&mut e, Duration::from_micros(200));
+            if *e == e1 {
+                self.parks.fetch_add(1, Ordering::Relaxed);
+                self.cv.wait(&mut e);
+                self.wakeups.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.parked.fetch_sub(1, Ordering::SeqCst);
+        found
     }
 
     fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
@@ -108,24 +273,27 @@ impl<H: TaskHooks> Shared<H> {
 /// A worker's execution engine: its deque plus the shared state.
 pub struct WorkerCore<H: TaskHooks> {
     shared: Arc<Shared<H>>,
-    local: Deque<Job<H>>,
+    local: LocalQueue<Job<H>>,
     index: usize,
 }
 
 impl<H: TaskHooks> WorkerCore<H> {
-    /// Local pop, then injector, then round-robin steal.
+    /// Local pop, then injector, then round-robin steal. Entirely lock-free
+    /// on the [`SchedBackend::ChaseLev`] backend.
     fn find_job(&self) -> Option<Job<H>> {
         if let Some(j) = self.local.pop() {
             return Some(j);
         }
         loop {
-            match self.shared.injector.steal_batch_and_pop(&self.local) {
+            match self.shared.injector.steal() {
                 Steal::Success(j) => {
                     self.shared.steals.fetch_add(1, Ordering::Relaxed);
                     return Some(j);
                 }
                 Steal::Empty => break,
-                Steal::Retry => continue,
+                Steal::Retry => {
+                    self.shared.steal_retries.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         let n = self.shared.stealers.len();
@@ -141,7 +309,9 @@ impl<H: TaskHooks> WorkerCore<H> {
                         return Some(j);
                     }
                     Steal::Empty => break,
-                    Steal::Retry => continue,
+                    Steal::Retry => {
+                        self.shared.steal_retries.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -164,7 +334,9 @@ impl<H: TaskHooks> WorkerCore<H> {
         self.shared.notify();
     }
 
-    /// Work-helping wait: run other tasks until `pred` holds.
+    /// Work-helping wait: run other tasks until `pred` holds; sleep via the
+    /// eventcount when none are ready (completions broadcast, so a pred
+    /// flip always wakes us).
     fn help_until(&self, pred: impl Fn() -> bool) {
         loop {
             if pred() {
@@ -177,7 +349,15 @@ impl<H: TaskHooks> WorkerCore<H> {
             }
             match self.find_job() {
                 Some(job) => self.run_job(job),
-                None => self.shared.wait_notification(),
+                None => {
+                    let found = self.shared.park_wait(
+                        || self.find_job(),
+                        || pred() || self.shared.panicked.load(Ordering::Acquire),
+                    );
+                    if let Some(job) = found {
+                        self.run_job(job);
+                    }
+                }
             }
         }
     }
@@ -191,7 +371,9 @@ fn worker_loop<H: TaskHooks>(core: WorkerCore<H>) {
                 if core.shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                core.shared.wait_notification();
+                if let Some(job) = core.shared.park_wait(|| core.find_job(), || false) {
+                    core.run_job(job);
+                }
             }
         }
     }
@@ -352,12 +534,19 @@ impl<'scope, H: TaskHooks> Cx<'scope> for ParCtx<'scope, H> {
 }
 
 /// Scheduler statistics (diagnostics and EXPERIMENTS reporting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
     /// Tasks executed over the pool's lifetime.
     pub tasks_run: u64,
     /// Tasks obtained by stealing (injector or sibling deque).
     pub steals: u64,
+    /// Steal attempts that lost a CAS race and retried (W6: each retry
+    /// means another thread made progress).
+    pub steal_retries: u64,
+    /// Times a pool thread slept on the eventcount.
+    pub parks: u64,
+    /// Times a sleeping pool thread was woken.
+    pub wakeups: u64,
 }
 
 /// A persistent pool of workers executing structured-future programs.
@@ -366,16 +555,50 @@ pub struct Runtime<H: TaskHooks> {
     threads: Vec<std::thread::JoinHandle<()>>,
     run_guard: Mutex<()>,
     workers: usize,
+    sched: SchedBackend,
 }
 
 impl<H: TaskHooks> Runtime<H> {
-    /// Spin up `workers` worker threads (`P` in the paper's bounds).
+    /// Spin up `workers` worker threads (`P` in the paper's bounds) on the
+    /// default lock-free scheduler.
     pub fn new(workers: usize) -> Self {
+        Self::with_sched(workers, SchedBackend::default())
+    }
+
+    /// Spin up `workers` worker threads on an explicit queue backend (the
+    /// `sched_deque` ablation switch).
+    pub fn with_sched(workers: usize, sched: SchedBackend) -> Self {
         assert!(workers >= 1, "need at least one worker");
-        let deques: Vec<Deque<Job<H>>> = (0..workers).map(|_| Deque::new_lifo()).collect();
-        let stealers: Box<[_]> = deques.iter().map(Deque::stealer).collect();
+        let (locals, stealers, injector) = match sched {
+            SchedBackend::ChaseLev => {
+                let ws: Vec<LocalQueue<Job<H>>> = (0..workers)
+                    .map(|_| LocalQueue::Lev(LevWorker::new()))
+                    .collect();
+                let st: Box<[_]> = ws
+                    .iter()
+                    .map(|w| match w {
+                        LocalQueue::Lev(w) => AnyStealer::Lev(w.stealer()),
+                        LocalQueue::Mutex(_) => unreachable!(),
+                    })
+                    .collect();
+                (ws, st, AnyInjector::Lev(LevInjector::new()))
+            }
+            SchedBackend::MutexDeque => {
+                let qs: Vec<Arc<MutexQueue<Job<H>>>> =
+                    (0..workers).map(|_| Arc::new(MutexQueue::new())).collect();
+                let ws = qs
+                    .iter()
+                    .map(|q| LocalQueue::Mutex(Arc::clone(q)))
+                    .collect();
+                let st: Box<[_]> = qs
+                    .iter()
+                    .map(|q| AnyStealer::Mutex(Arc::clone(q)))
+                    .collect();
+                (ws, st, AnyInjector::Mutex(MutexQueue::new()))
+            }
+        };
         let shared = Arc::new(Shared {
-            injector: Injector::new(),
+            injector,
             stealers,
             pending: AtomicUsize::new(0),
             parked: AtomicUsize::new(0),
@@ -386,8 +609,11 @@ impl<H: TaskHooks> Runtime<H> {
             panic: Mutex::new(None),
             tasks_run: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            steal_retries: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         });
-        let threads = deques
+        let threads = locals
             .into_iter()
             .enumerate()
             .map(|(index, local)| {
@@ -407,6 +633,7 @@ impl<H: TaskHooks> Runtime<H> {
             threads,
             run_guard: Mutex::new(()),
             workers,
+            sched,
         }
     }
 
@@ -415,11 +642,19 @@ impl<H: TaskHooks> Runtime<H> {
         self.workers
     }
 
+    /// The queue backend this pool runs on.
+    pub fn sched(&self) -> SchedBackend {
+        self.sched
+    }
+
     /// Scheduler statistics over the pool's lifetime.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             tasks_run: self.shared.tasks_run.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
+            steal_retries: self.shared.steal_retries.load(Ordering::Relaxed),
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
         }
     }
 
@@ -450,10 +685,16 @@ impl<H: TaskHooks> Runtime<H> {
             });
             self.shared.pending.fetch_add(1, Ordering::SeqCst);
             self.shared.injector.push(unsafe { erase_job(job) });
-            self.shared.force_notify();
+            self.shared.notify_one();
         }
+        // Quiescence barrier: sleep on the eventcount until pending hits
+        // zero. Completions broadcast, so the final decrement always wakes
+        // us; no timed polling.
         while self.shared.pending.load(Ordering::SeqCst) != 0 {
-            self.shared.wait_notification();
+            let _ = self.shared.park_wait(
+                || None::<Job<H>>,
+                || self.shared.pending.load(Ordering::SeqCst) == 0,
+            );
         }
         if let Some(p) = self.shared.panic.lock().take() {
             std::panic::resume_unwind(p);
@@ -465,15 +706,15 @@ impl<H: TaskHooks> Runtime<H> {
 
 impl<H: TaskHooks> Drop for Runtime<H> {
     fn drop(&mut self) {
+        // Parked-worker handshake: every sleeper snapshots the epoch and
+        // re-checks `shutdown` before actually waiting, so the single
+        // epoch-bump + broadcast below cannot be lost — a worker either
+        // sees the bump (skips the sleep, observes `shutdown` on its next
+        // loop via the mutex's ordering) or was already waiting and is
+        // woken. One broadcast, plain joins, no busy-wait.
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.force_notify();
         for t in self.threads.drain(..) {
-            // Keep nudging sleepers: a worker may re-park between our
-            // notify and its shutdown check.
-            while !t.is_finished() {
-                self.shared.force_notify();
-                std::thread::yield_now();
-            }
             let _ = t.join();
         }
     }
@@ -484,6 +725,7 @@ mod tests {
     use super::*;
     use crate::hooks::NullHooks;
     use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
 
     fn rt(workers: usize) -> Runtime<NullHooks> {
         Runtime::new(workers)
@@ -506,6 +748,22 @@ mod tests {
             rt.run(Arc::new(NullHooks), |ctx| fib(ctx, 15, &out));
             assert_eq!(out.load(Ordering::Relaxed), 610, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn fib_on_mutex_backend() {
+        fn fib<'s, C: Cx<'s>>(ctx: &mut C, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let h = ctx.create(move |c| fib(c, n - 1));
+            let b = fib(ctx, n - 2);
+            ctx.get(h) + b
+        }
+        let rt: Runtime<NullHooks> = Runtime::with_sched(3, SchedBackend::MutexDeque);
+        assert_eq!(rt.sched(), SchedBackend::MutexDeque);
+        let out = rt.run(Arc::new(NullHooks), |ctx| fib(ctx, 14));
+        assert_eq!(out, 377);
     }
 
     #[test]
@@ -566,6 +824,22 @@ mod tests {
             });
             assert_eq!(out, i * 2);
         }
+    }
+
+    #[test]
+    fn stats_count_tasks() {
+        let rt = rt(2);
+        rt.run(Arc::new(NullHooks), |ctx| {
+            for _ in 0..10 {
+                ctx.spawn(|_| {});
+            }
+            ctx.sync();
+        });
+        let s = rt.stats();
+        // Root + 10 spawns.
+        assert_eq!(s.tasks_run, 11);
+        // The root job always arrives via the injector.
+        assert!(s.steals >= 1);
     }
 
     #[test]

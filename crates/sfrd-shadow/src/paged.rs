@@ -69,9 +69,8 @@
 //! `AtomicCell` does the same): a torn copy is possible but is discarded
 //! before any field is interpreted.
 
-use parking_lot::Mutex;
+use sfrd_runtime::sync::{fence, AtomicPtr, AtomicU64, Mutex, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
 
 use sfrd_om::AppendArena;
 

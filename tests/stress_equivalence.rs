@@ -17,10 +17,11 @@ use std::collections::BTreeSet;
 use rand::prelude::*;
 
 use sfrd::core::{
-    drive, DetectorKind, DriveConfig, GenWorkload, Mode, SetRepr, ShadowBackend, Workload,
+    drive, DetectorKind, DriveConfig, GenWorkload, Mode, SchedBackend, SetRepr, ShadowArray,
+    ShadowBackend, Workload,
 };
 use sfrd::dag::generator::{GenParams, GenProgram};
-use sfrd::runtime::Cx;
+use sfrd::runtime::{Cx, NullHooks, Runtime};
 use sfrd::workloads::{make_bench, Scale};
 
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
@@ -379,5 +380,138 @@ fn om_decentralization_cuts_global_lock_acquisitions() {
             m.om_group_locks >= m.om_fast_inserts,
             "{bench}: every fast-path insert takes a group lock"
         );
+    }
+}
+
+/// Leaf count for the spawn storm (smaller in debug so plain `cargo test`
+/// stays quick; CI runs this suite on the release profile).
+fn storm_size() -> u64 {
+    if cfg!(debug_assertions) {
+        4_000
+    } else {
+        40_000
+    }
+}
+
+fn spawn_storm(pool: &Runtime<NullHooks>, n: u64) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let counter = AtomicU64::new(0);
+    pool.run(std::sync::Arc::new(NullHooks), |ctx| {
+        for _ in 0..n {
+            ctx.spawn(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        ctx.sync();
+    });
+    counter.load(Ordering::Relaxed)
+}
+
+/// Spawn storm at 8 workers on both queue backends: every leaf runs
+/// exactly once (counter parity), and the pool's `tasks_run` census is
+/// identical across backends and worker counts — task execution is
+/// structural, not schedule-dependent, so any divergence means a lost or
+/// double-executed job (W1/W2 at production scale).
+#[test]
+fn spawn_storm_counter_parity_across_backends() {
+    let n = storm_size();
+    let mut census = Vec::new();
+    for sched in [SchedBackend::ChaseLev, SchedBackend::MutexDeque] {
+        for workers in [1, 8] {
+            let pool: Runtime<NullHooks> = Runtime::with_sched(workers, sched);
+            let leaves = spawn_storm(&pool, n);
+            assert_eq!(leaves, n, "{sched:?} w{workers}: lost or repeated leaf");
+            census.push((sched, workers, pool.stats().tasks_run));
+        }
+    }
+    let expect = census[0].2;
+    assert!(expect >= n);
+    for (sched, workers, tasks) in census {
+        assert_eq!(tasks, expect, "{sched:?} w{workers}: task census diverged");
+    }
+}
+
+/// Lopsided tree: every node spawns its heavy child (the steal feed),
+/// inlines a half-depth light subtree, and every third level routes the
+/// heavy child through a future. Cell 0 is written by every leaf (racy),
+/// cell 1 by every interior node after its sync (racy across cousins),
+/// cell 2 is only ever read (never racy).
+struct UnbalancedTree {
+    arr: ShadowArray<u64>,
+}
+
+impl UnbalancedTree {
+    fn new() -> Self {
+        Self {
+            arr: ShadowArray::new(3),
+        }
+    }
+
+    fn go<'s, C: Cx<'s>>(&'s self, ctx: &mut C, depth: u32) -> u64 {
+        if depth == 0 {
+            self.arr.write(ctx, 0, 1);
+            return self.arr.read(ctx, 2);
+        }
+        ctx.spawn(move |c| {
+            self.go(c, depth - 1);
+        });
+        let fut = if depth.is_multiple_of(3) {
+            Some(ctx.create(move |c| self.go(c, depth - 1)))
+        } else {
+            None
+        };
+        let mut acc = self.go(ctx, depth / 2);
+        if let Some(h) = fut {
+            acc += ctx.get(h);
+        }
+        ctx.sync();
+        self.arr.write(ctx, 1, u64::from(depth));
+        acc
+    }
+}
+
+impl Workload for UnbalancedTree {
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+        self.go(ctx, 12);
+    }
+}
+
+/// Steal-heavy unbalanced tree: the SF-Order race verdict at 2 and 8
+/// workers on both queue backends must equal the 1-worker verdict
+/// (determinacy race detection is schedule-independent per location), and
+/// the scheduler counters must surface through `RaceReport::metrics`.
+#[test]
+fn unbalanced_tree_verdicts_equal_across_workers_and_backends() {
+    // One instance throughout: ShadowArray addresses are real memory
+    // addresses, so verdicts are only comparable within one allocation.
+    let w = UnbalancedTree::new();
+
+    let base = drive(&w, DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1))
+        .report
+        .expect("detector attached")
+        .racy_addrs;
+    assert!(base.contains(&w.arr.addr(0)), "leaf writes must race");
+    assert!(base.contains(&w.arr.addr(1)), "cousin writes must race");
+    assert!(
+        !base.contains(&w.arr.addr(2)),
+        "read-only cell flagged racy"
+    );
+
+    for sched in [SchedBackend::ChaseLev, SchedBackend::MutexDeque] {
+        for workers in [2, 8] {
+            let cfg = DriveConfig {
+                sched,
+                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+            };
+            let report = drive(&w, cfg).report.expect("detector attached");
+            assert_eq!(
+                report.racy_addrs, base,
+                "{sched:?} w{workers}: verdict diverged from 1-worker run"
+            );
+            assert!(
+                report.metrics.sched_tasks_run > 0,
+                "{sched:?} w{workers}: scheduler metrics missing from report"
+            );
+        }
     }
 }

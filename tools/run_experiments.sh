@@ -65,4 +65,10 @@ cargo bench -p sfrd-bench --bench ablation -- shadow_paging 2>&1 | tee results_a
 echo ">> ablation set_repr -> results_ablation_sets.txt"
 cargo bench -p sfrd-bench --bench ablation -- set_repr 2>&1 | tee results_ablation_sets.txt
 
+# Scheduler-queue ablation (EXPERIMENTS.md / DESIGN.md §10): lock-free
+# Chase-Lev vs the mutex-deque baseline at 1/2/4/8 workers; the
+# tasks/steals/parks counter lines land on stderr -> the log.
+echo ">> ablation sched_deque -> results_ablation_sched.txt"
+cargo bench -p sfrd-bench --bench ablation -- sched_deque 2>&1 | tee results_ablation_sched.txt
+
 echo ">> done (scale=$SCALE workers=$WORKERS reps=$REPS); see results_*.txt"

@@ -310,6 +310,53 @@ fn sched_deque(c: &mut Criterion) {
     g.finish();
 }
 
+/// The chunk-kernel ablation (DESIGN.md §11): SF-Order with the scalar
+/// lane loops pinned vs auto-dispatched SIMD kernels, on the future-heavy
+/// `hw` workload (chunked `gp` sets on the hot path) in both `reach` and
+/// `full` configurations. The kernel counters are reported once per
+/// configuration before the timing loop: scalar runs must show
+/// `kernel_simd_calls = 0`, auto runs on AVX2 hardware must show
+/// `kernel_scalar_calls = 0`, and the op totals must match across the
+/// two — the counting-parity invariant of `tests/kernel_differential.rs`.
+fn simd_kernels(c: &mut Criterion) {
+    use sfrd_core::KernelKind;
+
+    let mut g = c.benchmark_group("ablation/simd_kernels");
+    g.sample_size(10);
+    for mode in [Mode::Reach, Mode::Full] {
+        for (label, kernels) in [("scalar", KernelKind::Scalar), ("auto", KernelKind::Auto)] {
+            let w = make_bench("hw", Scale::Small, 1);
+            let cfg = DriveConfig {
+                kernels,
+                ..DriveConfig::with(DetectorKind::SfOrder, mode, 1)
+            };
+            let rep = drive(&w, cfg).report.expect("detector returns a report");
+            let m = &rep.metrics;
+            let mode_l = format!("{mode:?}").to_lowercase();
+            eprintln!(
+                "simd_kernels/hw/{mode_l}/{label}: kernel_simd_calls={} \
+                 kernel_scalar_calls={} arena_slabs={} prefetch_issued={} races={}",
+                m.kernel_simd_calls,
+                m.kernel_scalar_calls,
+                m.arena_slabs,
+                m.prefetch_issued,
+                rep.total_races,
+            );
+            g.bench_function(format!("hw/{mode_l}/{label}"), |b| {
+                b.iter(|| {
+                    let w = make_bench("hw", Scale::Small, 1);
+                    let cfg = DriveConfig {
+                        kernels,
+                        ..DriveConfig::with(DetectorKind::SfOrder, mode, 1)
+                    };
+                    black_box(drive(&w, cfg));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     ablation,
     reader_policy,
@@ -319,6 +366,7 @@ criterion_group!(
     om_contention,
     shadow_paging,
     set_repr,
-    sched_deque
+    sched_deque,
+    simd_kernels
 );
 criterion_main!(ablation);

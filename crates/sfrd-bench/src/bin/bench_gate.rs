@@ -1,0 +1,192 @@
+//! Perf-drift gate over the `BENCH_fig4.json` trajectory.
+//!
+//! Compares the **newest** snapshot against the most recent *comparable*
+//! earlier snapshot — same `scale`, `workers`, `reps`, `shadow`, `sched`
+//! and `kernels` metadata — and fails (exit 1) when any tracked cell's
+//! `mean_s` regressed by more than the threshold. Cells faster than the
+//! noise floor on either side are skipped: sub-floor wall times on shared
+//! CI boxes are dominated by scheduler jitter, not by the code under
+//! test. Improvements are reported but never fail the gate.
+//!
+//! ```sh
+//! cargo run -p sfrd-bench --release --bin bench_gate -- \
+//!     [--path BENCH_fig4.json] [--threshold 0.10] [--floor-s 0.010]
+//! ```
+//!
+//! CI runs a fig4 smoke twice into a scratch trajectory and gates the
+//! second run against the first, so the comparison is always same-machine
+//! same-build; the committed trajectory can also be gated locally after
+//! appending a snapshot on a quiet machine.
+
+use sfrd_bench::Json;
+
+/// Snapshot metadata that must match for a timing comparison to be fair.
+#[derive(PartialEq, Debug)]
+struct Meta {
+    scale: String,
+    workers: u64,
+    reps: u64,
+    shadow: String,
+    sched: String,
+    kernels: String,
+}
+
+impl Meta {
+    fn of(snap: &Json) -> Self {
+        let s = |key: &str, default: &str| {
+            snap.get(key)
+                .and_then(Json::as_str)
+                .unwrap_or(default)
+                .to_string()
+        };
+        let n = |key: &str| snap.get(key).and_then(Json::as_u64).unwrap_or(0);
+        // Older snapshots predate the shadow/sched/kernels fields; they
+        // were produced with the defaults of their day, which these
+        // defaults name explicitly.
+        Meta {
+            scale: s("scale", "?"),
+            workers: n("workers"),
+            reps: n("reps"),
+            shadow: s("shadow", "paged"),
+            sched: s("sched", "lev"),
+            kernels: s("kernels", "auto"),
+        }
+    }
+}
+
+/// One `(bench, config, workers)` cell with its mean wall time.
+struct Cell {
+    key: String,
+    mean_s: f64,
+}
+
+fn cells(snap: &Json) -> Vec<Cell> {
+    let mut out = Vec::new();
+    let Some(benches) = snap.get("benches").and_then(Json::as_arr) else {
+        return out;
+    };
+    for b in benches {
+        let bench = b.get("bench").and_then(Json::as_str).unwrap_or("?");
+        let Some(rows) = b.get("rows").and_then(Json::as_arr) else {
+            continue;
+        };
+        for r in rows {
+            let config = r.get("config").and_then(Json::as_str).unwrap_or("?");
+            let workers = r.get("workers").and_then(Json::as_u64).unwrap_or(0);
+            let Some(mean_s) = r.get("mean_s").and_then(Json::as_f64) else {
+                continue;
+            };
+            out.push(Cell {
+                key: format!("{bench}/{config}/w{workers}"),
+                mean_s,
+            });
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut path = "BENCH_fig4.json".to_string();
+    let mut threshold = 0.10f64;
+    let mut floor_s = 0.010f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("missing {what}")))
+        };
+        match a.as_str() {
+            "--path" => path = next("--path value"),
+            "--threshold" => {
+                threshold = next("--threshold value")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --threshold"));
+            }
+            "--floor-s" => {
+                floor_s = next("--floor-s value")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --floor-s"));
+            }
+            "--help" | "-h" => die(""),
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: bad JSON: {e}")));
+    let snapshots = doc
+        .get("snapshots")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| die(&format!("{path}: not a schema-2 trajectory")));
+    let Some((newest, earlier)) = snapshots.split_last() else {
+        die(&format!("{path}: empty trajectory"));
+    };
+
+    let meta = Meta::of(newest);
+    let newest_label = newest.get("label").and_then(Json::as_str).unwrap_or("?");
+    let Some(baseline) = earlier.iter().rev().find(|s| Meta::of(s) == meta) else {
+        println!(
+            "bench_gate: no earlier snapshot matches {meta:?} — nothing to gate \
+             (newest: {newest_label:?})"
+        );
+        return;
+    };
+    let baseline_label = baseline.get("label").and_then(Json::as_str).unwrap_or("?");
+
+    let base_cells = cells(baseline);
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for new in cells(newest) {
+        let Some(old) = base_cells.iter().find(|c| c.key == new.key) else {
+            continue;
+        };
+        if old.mean_s < floor_s || new.mean_s < floor_s {
+            skipped += 1;
+            continue;
+        }
+        compared += 1;
+        let drift = new.mean_s / old.mean_s - 1.0;
+        if drift > threshold {
+            regressions.push(format!(
+                "  {}: {:.4}s -> {:.4}s (+{:.1}%)",
+                new.key,
+                old.mean_s,
+                new.mean_s,
+                drift * 100.0
+            ));
+        } else if drift < -threshold {
+            println!(
+                "bench_gate: improvement {}: {:.4}s -> {:.4}s ({:.1}%)",
+                new.key,
+                old.mean_s,
+                new.mean_s,
+                drift * 100.0
+            );
+        }
+    }
+
+    println!(
+        "bench_gate: {newest_label:?} vs {baseline_label:?}: {compared} cells compared, \
+         {skipped} below the {floor_s}s noise floor, threshold {:.0}%",
+        threshold * 100.0
+    );
+    if regressions.is_empty() {
+        println!("bench_gate: PASS");
+    } else {
+        eprintln!("bench_gate: FAIL — {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("{r}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn die(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: bench_gate [--path BENCH_fig4.json] [--threshold 0.10] [--floor-s 0.010]");
+    std::process::exit(2);
+}

@@ -107,6 +107,7 @@ fn main() {
     }
     print!("{}", t.render());
     if let Some(path) = &args.json {
+        let kernels = format!("{:?}", args.kernels).to_lowercase();
         let label = args.json_label.clone().unwrap_or_else(|| {
             format!("{:?}-{shadow}-{}-w{p}", args.scale, args.sched.label()).to_lowercase()
         });
@@ -117,6 +118,7 @@ fn main() {
             .field("reps", args.reps)
             .field("shadow", shadow.as_str())
             .field("sched", args.sched.label())
+            .field("kernels", kernels.as_str())
             .field("benches", bench_objects);
         append_snapshot(path, snap);
         eprintln!("appended snapshot to {path}");

@@ -29,7 +29,7 @@
 //! configuration with the full metrics payload).
 
 use sfrd_bench::{append_snapshot, cell_json, Json, Table, TimedCell, Timing};
-use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, SetRepr, Workload};
+use sfrd_core::{drive, DetectorKind, DriveConfig, KernelKind, Mode, SetRepr, Workload};
 use sfrd_runtime::Cx;
 
 /// A chain of `k` futures, each gotten right after creation — maximizes
@@ -68,6 +68,7 @@ fn main() {
     let mut kmax: usize = 8192;
     let mut json: Option<String> = None;
     let mut json_label: Option<String> = None;
+    let mut kernels = KernelKind::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -76,17 +77,26 @@ fn main() {
             }
             "--json-out" => json = Some(args.next().expect("missing --json-out path")),
             "--json-label" => json_label = Some(args.next().expect("missing --json-label name")),
+            "--kernels" => {
+                kernels = match args.next().as_deref() {
+                    Some("scalar") => KernelKind::Scalar,
+                    Some("auto") => KernelKind::Auto,
+                    other => panic!("bad --kernels {other:?} (scalar|auto)"),
+                }
+            }
             other => match other.parse() {
                 Ok(k) => kmax = k,
                 Err(_) => {
                     eprintln!(
-                        "usage: k_scaling [kmax] [--json] [--json-out PATH] [--json-label NAME]"
+                        "usage: k_scaling [kmax] [--kernels scalar|auto] [--json] \
+                         [--json-out PATH] [--json-label NAME]"
                     );
                     std::process::exit(2);
                 }
             },
         }
     }
+    let kernels_label = format!("{kernels:?}").to_lowercase();
     println!("# k-scaling of reachability construction (reach config, 1 worker)");
     println!("# SFa = SF-Order adaptive sets (default), SFd = SF-Order dense baseline");
     let mut t = Table::new(&[
@@ -112,6 +122,7 @@ fn main() {
                 &w,
                 DriveConfig {
                     set_repr,
+                    kernels,
                     ..DriveConfig::with(kind, Mode::Reach, 1)
                 },
             );
@@ -150,13 +161,15 @@ fn main() {
     }
     print!("{}", t.render());
     if let Some(path) = &json {
-        let label = json_label.unwrap_or_else(|| format!("kscaling-kmax{kmax}"));
+        let label =
+            json_label.unwrap_or_else(|| format!("kscaling-kmax{kmax}-kernels-{kernels_label}"));
         let snap = Json::obj()
             .field("label", label)
             .field("scale", "kscaling")
             .field("workers", 1usize)
             .field("reps", 1usize)
             .field("shadow", "paged")
+            .field("kernels", kernels_label.as_str())
             .field("benches", bench_objects);
         append_snapshot(path, snap);
         eprintln!("appended snapshot to {path}");

@@ -23,8 +23,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sfrd_core::{
-    drive, DetectorKind, DriveConfig, Mode, Outcome, RaceReport, RecordingHooks, SchedBackend,
-    SetRepr, ShadowBackend, Workload,
+    drive, DetectorKind, DriveConfig, KernelKind, Mode, Outcome, RaceReport, RecordingHooks,
+    SchedBackend, SetRepr, ShadowBackend, Workload,
 };
 use sfrd_runtime::run_sequential;
 use sfrd_workloads::{make_bench, AnyBench, Scale, BENCH_NAMES};
@@ -56,6 +56,10 @@ pub struct HarnessArgs {
     /// lock-free Chase-Lev deques; mutex is the `sched_deque` ablation
     /// baseline).
     pub sched: SchedBackend,
+    /// 512-bit chunk-kernel dispatch (`--kernels scalar|auto`; default
+    /// auto — SIMD when the CPU supports it; scalar is the
+    /// `simd_kernels` ablation baseline).
+    pub kernels: KernelKind,
 }
 
 impl HarnessArgs {
@@ -71,6 +75,7 @@ impl HarnessArgs {
         let mut shadow = ShadowBackend::default();
         let mut set_repr = SetRepr::default();
         let mut sched = SchedBackend::default();
+        let mut kernels = KernelKind::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -138,6 +143,13 @@ impl HarnessArgs {
                         .and_then(SchedBackend::parse)
                         .unwrap_or_else(|| usage("bad --sched (lev|mutex)"));
                 }
+                "--kernels" => {
+                    kernels = match args.next().as_deref() {
+                        Some("scalar") => KernelKind::Scalar,
+                        Some("auto") => KernelKind::Auto,
+                        other => usage(&format!("bad --kernels {other:?} (scalar|auto)")),
+                    }
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -155,6 +167,7 @@ impl HarnessArgs {
             shadow,
             set_repr,
             sched,
+            kernels,
         }
     }
 
@@ -165,6 +178,7 @@ impl HarnessArgs {
             shadow: self.shadow,
             set_repr: self.set_repr,
             sched: self.sched,
+            kernels: self.kernels,
             ..DriveConfig::with(kind, mode, workers)
         }
     }
@@ -177,8 +191,9 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale small|medium|paper] [--workers N] [--reps N] \
          [--bench mm|sort|sw|hw|ferret]... [--shadow sharded|paged] \
-         [--set-repr dense|adaptive] [--sched lev|mutex] [--json] \
-         [--json-out PATH] [--json-label NAME]"
+         [--set-repr dense|adaptive] [--sched lev|mutex] \
+         [--kernels scalar|auto] [--json] [--json-out PATH] \
+         [--json-label NAME]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -306,6 +321,10 @@ pub fn report_json(rep: &RaceReport) -> Json {
         .field("sched_steal_retries", rep.metrics.sched_steal_retries)
         .field("sched_parks", rep.metrics.sched_parks)
         .field("sched_wakeups", rep.metrics.sched_wakeups)
+        .field("kernel_simd_calls", rep.metrics.kernel_simd_calls)
+        .field("kernel_scalar_calls", rep.metrics.kernel_scalar_calls)
+        .field("arena_slabs", rep.metrics.arena_slabs)
+        .field("prefetch_issued", rep.metrics.prefetch_issued)
 }
 
 /// One timed cell as a trajectory-row JSON object (shape shared by

@@ -23,8 +23,8 @@
 use parking_lot::Mutex;
 
 use sfrd_reach::{
-    FoReach, FoStrand, MbPos, MbReach, MbStrand, SetRepr, SetStatsSnapshot, SfPos, SfReach,
-    SfStrand, StrandPos,
+    FoReach, FoStrand, KernelKind, MbPos, MbReach, MbStrand, SetRepr, SetStatsSnapshot, SfPos,
+    SfReach, SfStrand, StrandPos,
 };
 use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
@@ -89,8 +89,8 @@ impl<H: sfrd_runtime::TaskHooks> sfrd_runtime::TaskHooks for ReachOnly<H> {
 pub struct SfEngine(pub(crate) SfReach);
 
 impl SfEngine {
-    fn new(repr: SetRepr) -> (Self, SfStrand) {
-        let (reach, root) = SfReach::with_repr(repr);
+    fn new(repr: SetRepr, kernels: KernelKind) -> (Self, SfStrand) {
+        let (reach, root) = SfReach::with_config(repr, kernels);
         (Self(reach), root)
     }
 }
@@ -144,6 +144,9 @@ impl ReachEngine for SfEngine {
     fn om_stats(&self) -> sfrd_om::OmStats {
         self.0.sp_order().om_stats()
     }
+    fn arena_slabs(&self) -> u64 {
+        self.0.arena_slabs()
+    }
 }
 
 /// The paper's detector: SF-Order reachability + access history.
@@ -158,18 +161,26 @@ impl SfDetector {
 
     /// [`new`](Self::new) with an explicit shadow-memory backend.
     pub fn with_backend(mode: Mode, policy: ReaderPolicy, backend: ShadowBackend) -> Self {
-        Self::with_config(mode, policy, backend, SetRepr::default())
+        Self::with_config(
+            mode,
+            policy,
+            backend,
+            SetRepr::default(),
+            KernelKind::default(),
+        )
     }
 
     /// Fully explicit constructor: shadow backend plus the `cp`/`gp`
-    /// set-representation family (`set_repr` ablation / differential runs).
+    /// set-representation family (`set_repr` ablation / differential runs)
+    /// and the 512-bit chunk-kernel dispatch policy.
     pub fn with_config(
         mode: Mode,
         policy: ReaderPolicy,
         backend: ShadowBackend,
         set_repr: SetRepr,
+        kernels: KernelKind,
     ) -> Self {
-        EventSink::build(SfEngine::new(set_repr), mode, policy, backend)
+        EventSink::build(SfEngine::new(set_repr, kernels), mode, policy, backend)
     }
 
     /// Reachability engine (diagnostics).
@@ -232,6 +243,9 @@ impl ReachEngine for FoEngine {
     fn om_stats(&self) -> sfrd_om::OmStats {
         self.0.sp_order().om_stats()
     }
+    fn arena_slabs(&self) -> u64 {
+        self.0.arena_slabs()
+    }
 }
 
 /// The general-futures baseline detector: F-Order reachability + all-reader
@@ -265,8 +279,8 @@ impl FoDetector {
 pub struct MbEngine(pub(crate) Mutex<MbReach>);
 
 impl MbEngine {
-    fn new(repr: SetRepr) -> (Self, MbStrand) {
-        let (reach, root) = MbReach::with_repr(repr);
+    fn new(repr: SetRepr, kernels: KernelKind) -> (Self, MbStrand) {
+        let (reach, root) = MbReach::with_config(repr, kernels);
         (Self(Mutex::new(reach)), root)
     }
 }
@@ -328,12 +342,22 @@ impl MbDetector {
 
     /// [`new`](Self::new) with an explicit shadow-memory backend.
     pub fn with_backend(mode: Mode, backend: ShadowBackend) -> Self {
-        Self::with_config(mode, backend, SetRepr::default())
+        Self::with_config(mode, backend, SetRepr::default(), KernelKind::default())
     }
 
     /// Fully explicit constructor: shadow backend plus the `cp`/`gp`
-    /// set-representation family.
-    pub fn with_config(mode: Mode, backend: ShadowBackend, set_repr: SetRepr) -> Self {
-        EventSink::build(MbEngine::new(set_repr), mode, ReaderPolicy::All, backend)
+    /// set-representation family and the chunk-kernel dispatch policy.
+    pub fn with_config(
+        mode: Mode,
+        backend: ShadowBackend,
+        set_repr: SetRepr,
+        kernels: KernelKind,
+    ) -> Self {
+        EventSink::build(
+            MbEngine::new(set_repr, kernels),
+            mode,
+            ReaderPolicy::All,
+            backend,
+        )
     }
 }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sfrd_reach::SetRepr;
+use sfrd_reach::{KernelKind, SetRepr};
 use sfrd_runtime::{run_sequential, Cx, NullHooks, PoolStats, Runtime, SchedBackend};
 use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
@@ -69,6 +69,12 @@ pub struct DriveConfig {
     /// Chase-Lev scheduler is the default; the mutex-deque baseline is
     /// kept for the `sched_deque` ablation. Ignored when `sequential`.
     pub sched: SchedBackend,
+    /// How the 512-bit chunk kernels behind the adaptive set family
+    /// dispatch: `Auto` picks the SIMD path when the CPU supports it,
+    /// `Scalar` pins the portable lane loops (the `simd_kernels`
+    /// ablation baseline). Only the SF-Order and MultiBags engines use
+    /// chunked future sets, so F-Order and WSP-Order ignore this.
+    pub kernels: KernelKind,
 }
 
 impl DriveConfig {
@@ -84,6 +90,7 @@ impl DriveConfig {
             shadow: ShadowBackend::default(),
             set_repr: SetRepr::default(),
             sched: SchedBackend::default(),
+            kernels: KernelKind::default(),
         }
     }
 
@@ -100,6 +107,7 @@ impl DriveConfig {
             shadow: ShadowBackend::default(),
             set_repr: SetRepr::default(),
             sched: SchedBackend::default(),
+            kernels: KernelKind::default(),
         }
     }
 }
@@ -201,7 +209,13 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
             Outcome { wall, report: None }
         }
         DetectorKind::SfOrder => {
-            detector_arm!(|m| SfDetector::with_config(m, cfg.policy, cfg.shadow, cfg.set_repr))
+            detector_arm!(|m| SfDetector::with_config(
+                m,
+                cfg.policy,
+                cfg.shadow,
+                cfg.set_repr,
+                cfg.kernels
+            ))
         }
         DetectorKind::FOrder => detector_arm!(|m| FoDetector::with_backend(m, cfg.shadow)),
         DetectorKind::WspOrder => {
@@ -213,7 +227,7 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
                 "MultiBags requires the sequential runtime (its SP-bags invariant \
                  only holds for the serial depth-first execution)"
             );
-            detector_arm!(|m| MbDetector::with_config(m, cfg.shadow, cfg.set_repr))
+            detector_arm!(|m| MbDetector::with_config(m, cfg.shadow, cfg.set_repr, cfg.kernels))
         }
     }
 }

@@ -98,6 +98,11 @@ pub trait ReachEngine: Send + Sync + 'static {
     fn om_stats(&self) -> sfrd_om::OmStats {
         sfrd_om::OmStats::default()
     }
+    /// Slabs bump-allocated in the engine's per-future node arena (0 for
+    /// engines without one).
+    fn arena_slabs(&self) -> u64 {
+        0
+    }
 }
 
 /// The unified detector: the on-the-fly protocol of §1/§3 over any
@@ -180,6 +185,10 @@ impl<E: ReachEngine> EventSink<E> {
                     set_chunks_shared: set.chunks_shared,
                     set_chunks_copied: set.chunks_copied,
                     set_lineage_hits: set.lineage_hits,
+                    kernel_simd_calls: set.kernel_simd_calls,
+                    kernel_scalar_calls: set.kernel_scalar_calls,
+                    arena_slabs: self.engine.arena_slabs(),
+                    prefetch_issued: self.history.as_ref().map_or(0, |h| h.prefetch_issued()),
                     ..MetricsSnapshot::default()
                 }
             },
@@ -422,7 +431,17 @@ impl<E: ReachEngine> TaskHooks for EventSink<E> {
         match history {
             AccessHistory::Paged(paged) => {
                 let mut cur = paged.cursor();
-                for a in entries.iter() {
+                let mut prefetched: u64 = 0;
+                for (i, a) in entries.iter().enumerate() {
+                    // Overlap the slot-seqlock work on entry `i` with the
+                    // cache fill for entry `i + 1`; the tally is folded into
+                    // the shared counter once per batch to keep atomic
+                    // traffic off this loop.
+                    if let Some(next) = entries.get(i + 1) {
+                        if next.addr >> 3 != a.addr >> 3 && paged.prefetch_slot(next.addr) {
+                            prefetched += 1;
+                        }
+                    }
                     if a.is_write {
                         cur.locked(a.addr, |e| {
                             self.check_write(e, a.addr, pos, s, Some(&mut *verdicts))
@@ -432,6 +451,9 @@ impl<E: ReachEngine> TaskHooks for EventSink<E> {
                             self.check_read(e, a.addr, fut, pos, s, Some(&mut *verdicts))
                         });
                     }
+                }
+                if prefetched != 0 {
+                    paged.note_prefetches(prefetched);
                 }
             }
             AccessHistory::Sharded(sharded) => {

@@ -63,7 +63,7 @@ pub use shared::{ShadowArray, ShadowCell, ShadowMatrix};
 pub use wsp::{WspDetector, WspEngine, WspStrand};
 
 // Re-exports so downstream users need only this crate.
-pub use sfrd_reach::{SetRepr, SetStatsSnapshot};
+pub use sfrd_reach::{KernelKind, SetRepr, SetStatsSnapshot};
 pub use sfrd_runtime::{BatchStats, Batched, Cx, FutureHandle, NullHooks, Runtime, TaskHooks};
 pub use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 

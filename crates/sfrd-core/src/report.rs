@@ -203,6 +203,14 @@ pub struct MetricsSnapshot {
     pub sched_parks: u64,
     /// Scheduler: times a sleeping pool thread was woken.
     pub sched_wakeups: u64,
+    /// 512-bit chunk-kernel calls dispatched to the SIMD path.
+    pub kernel_simd_calls: u64,
+    /// 512-bit chunk-kernel calls taking the scalar lane loops.
+    pub kernel_scalar_calls: u64,
+    /// Slabs bump-allocated in the engine's per-future node arena.
+    pub arena_slabs: u64,
+    /// Software prefetches issued by paged-shadow batch replays.
+    pub prefetch_issued: u64,
 }
 
 impl MetricsSnapshot {

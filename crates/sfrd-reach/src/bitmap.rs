@@ -34,6 +34,15 @@
 //! never on the representation, so dense and adaptive engines report
 //! identical allocation and merge counts (the differential-test
 //! invariant).
+//!
+//! Chunked-tier structural work dispatches through the 512-bit
+//! [`kernels`](crate::kernels): [`SetStats`] carries the engine's
+//! resolved [`Kernel`] (see [`SetStats::with_kernel`]) and the `_k`
+//! operation variants thread it down to [`crate::chunked`], tallying
+//! every 512-bit primitive call into `kernel_simd_calls` or
+//! `kernel_scalar_calls`. Dense sets never touch the kernels — the dense
+//! family *is* the scalar baseline, and its cost model must not change
+//! under `--kernels`.
 
 use sfrd_runtime::sync::AtomicU32;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +51,7 @@ use std::sync::Arc;
 use sfrd_dag::FutureId;
 
 use crate::chunked::{AllocDelta, Chunked};
+use crate::kernels::{Kernel, KernelKind};
 
 /// Ids held directly in the struct before spilling to a heap array.
 const INLINE_CAP: usize = 8;
@@ -267,6 +277,11 @@ impl FutureSet {
         self.with_counted(f).0
     }
 
+    /// [`Self::with_counted_k`] on the auto-resolved default kernel.
+    pub fn with_counted(&self, f: FutureId) -> (Self, AllocDelta) {
+        self.with_counted_k(f, Kernel::default())
+    }
+
     /// `self ∪ {f}` plus the true allocation cost of building it.
     ///
     /// Dense sets copy every word (the baseline cost model). Adaptive
@@ -274,7 +289,7 @@ impl FutureSet {
     /// ones copy a small id array, and chunked ones usually just buffer
     /// the id in the inline tail (zero chunk bytes — see
     /// [`crate::chunked`]).
-    pub fn with_counted(&self, f: FutureId) -> (Self, AllocDelta) {
+    pub fn with_counted_k(&self, f: FutureId, k: Kernel) -> (Self, AllocDelta) {
         let id = f.index() as u32;
         let lineage = self.lineage.as_ref().map(Lineage::child);
         match &self.repr {
@@ -307,14 +322,14 @@ impl FutureSet {
                 ids.extend_from_slice(&cur[..at]);
                 ids.push(id);
                 ids.extend_from_slice(&cur[at..]);
-                let (repr, delta) = Self::small_from_sorted(ids);
+                let (repr, delta) = Self::small_from_sorted(ids, k);
                 (Self { repr, lineage }, delta)
             }
             Repr::Chunked(c) => {
                 if c.contains(id) {
                     return (self.clone(), AllocDelta::default());
                 }
-                let (next, delta) = c.with(id);
+                let (next, delta) = c.with(id, k);
                 (
                     Self {
                         repr: Repr::Chunked(next),
@@ -327,7 +342,7 @@ impl FutureSet {
     }
 
     /// Pick the right adaptive tier for a sorted, deduplicated id list.
-    fn small_from_sorted(ids: Vec<u32>) -> (Repr, AllocDelta) {
+    fn small_from_sorted(ids: Vec<u32>, k: Kernel) -> (Repr, AllocDelta) {
         if ids.len() <= INLINE_CAP {
             let mut arr = [0; INLINE_CAP];
             arr[..ids.len()].copy_from_slice(&ids);
@@ -348,7 +363,7 @@ impl FutureSet {
                 },
             )
         } else {
-            let (c, delta) = Chunked::from_ids(&ids);
+            let (c, delta) = Chunked::from_ids(&ids, k);
             (Repr::Chunked(c), delta)
         }
     }
@@ -358,12 +373,17 @@ impl FutureSet {
         self.union_counted(other).0
     }
 
+    /// [`Self::union_counted_k`] on the auto-resolved default kernel.
+    pub fn union_counted(&self, other: &Self) -> (Self, AllocDelta) {
+        self.union_counted_k(other, Kernel::default())
+    }
+
     /// `self ∪ other` plus the true allocation cost of building it.
     ///
     /// Family-preserving on the hot path (both sides dense, or both
     /// adaptive); a mixed pair falls back to a dense result so the
     /// baseline family's cost model is never silently upgraded.
-    pub fn union_counted(&self, other: &Self) -> (Self, AllocDelta) {
+    pub fn union_counted_k(&self, other: &Self, k: Kernel) -> (Self, AllocDelta) {
         let lineage = self
             .lineage
             .as_ref()
@@ -407,7 +427,7 @@ impl FutureSet {
                 )
             }
             (Repr::Chunked(a), Repr::Chunked(b)) => {
-                let (u, delta) = a.union(b);
+                let (u, delta) = a.union(b, k);
                 (
                     Self {
                         repr: Repr::Chunked(u),
@@ -417,7 +437,7 @@ impl FutureSet {
                 )
             }
             (Repr::Chunked(c), _) => {
-                let (u, delta) = c.with_ids(other.small_ids().unwrap());
+                let (u, delta) = c.with_ids(other.small_ids().unwrap(), k);
                 (
                     Self {
                         repr: Repr::Chunked(u),
@@ -427,7 +447,7 @@ impl FutureSet {
                 )
             }
             (_, Repr::Chunked(c)) => {
-                let (u, delta) = c.with_ids(self.small_ids().unwrap());
+                let (u, delta) = c.with_ids(self.small_ids().unwrap(), k);
                 (
                     Self {
                         repr: Repr::Chunked(u),
@@ -443,18 +463,24 @@ impl FutureSet {
                 ids.extend_from_slice(b);
                 ids.sort_unstable();
                 ids.dedup();
-                let (repr, delta) = Self::small_from_sorted(ids);
+                let (repr, delta) = Self::small_from_sorted(ids, k);
                 (Self { repr, lineage }, delta)
             }
         }
     }
 
-    /// `self ⊆ other`.
+    /// `self ⊆ other` (kernel-op tally discarded).
     pub fn is_subset(&self, other: &Self) -> bool {
+        self.is_subset_k(other, Kernel::default()).0
+    }
+
+    /// `self ⊆ other` plus the number of 512-bit kernel calls the scan
+    /// made (non-zero only for chunked × chunked pairs).
+    pub fn is_subset_k(&self, other: &Self, k: Kernel) -> (bool, u64) {
         match (&self.repr, &other.repr) {
             (Repr::Dense(a), Repr::Dense(b)) => {
                 if a.len() > b.len() && a[b.len()..].iter().any(|&w| w != 0) {
-                    return false;
+                    return (false, 0);
                 }
                 let n = a.len().min(b.len());
                 // Word loop unrolled four wide (the compiler vectorizes
@@ -465,22 +491,30 @@ impl FutureSet {
                     if (aw[0] & !bw[0]) | (aw[1] & !bw[1]) | (aw[2] & !bw[2]) | (aw[3] & !bw[3])
                         != 0
                     {
-                        return false;
+                        return (false, 0);
                     }
                 }
-                ar.iter()
-                    .zip(&b[n - n % 4..n])
-                    .all(|(&aw, &bw)| aw & !bw == 0)
+                (
+                    ar.iter()
+                        .zip(&b[n - n % 4..n])
+                        .all(|(&aw, &bw)| aw & !bw == 0),
+                    0,
+                )
             }
-            (Repr::Inline { .. } | Repr::Sparse(_), _) => self
-                .small_ids()
-                .unwrap()
-                .iter()
-                .all(|&id| other.contains(FutureId(id))),
-            (Repr::Chunked(a), Repr::Chunked(b)) => a.subset_of(b),
+            (Repr::Inline { .. } | Repr::Sparse(_), _) => (
+                self.small_ids()
+                    .unwrap()
+                    .iter()
+                    .all(|&id| other.contains(FutureId(id))),
+                0,
+            ),
+            (Repr::Chunked(a), Repr::Chunked(b)) => a.subset_of(b, k),
             _ => {
                 let n = self.words_len();
-                (0..n).all(|wi| self.word_at(wi) & !other.word_at(wi) == 0)
+                (
+                    (0..n).all(|wi| self.word_at(wi) & !other.word_at(wi) == 0),
+                    0,
+                )
             }
         }
     }
@@ -625,6 +659,13 @@ pub struct SetStats {
     pub chunks_copied: AtomicU64,
     /// Merges resolved in O(1) by the lineage descends-from fast exit.
     pub lineage_hits: AtomicU64,
+    /// 512-bit kernel primitive calls dispatched to the SIMD path.
+    pub kernel_simd_calls: AtomicU64,
+    /// 512-bit kernel primitive calls taking the scalar lane loops.
+    pub kernel_scalar_calls: AtomicU64,
+    /// The resolved kernel every chunked operation through this stats
+    /// handle dispatches on (`Default` auto-detects the CPU).
+    kernel: Kernel,
 }
 
 /// A point-in-time copy of every [`SetStats`] counter.
@@ -650,11 +691,45 @@ pub struct SetStatsSnapshot {
     pub chunks_copied: u64,
     /// Lineage O(1) merge exits.
     pub lineage_hits: u64,
+    /// Kernel calls on the SIMD path.
+    pub kernel_simd_calls: u64,
+    /// Kernel calls on the scalar path.
+    pub kernel_scalar_calls: u64,
 }
 
 impl SetStats {
+    /// Stats pinned to an explicit kernel selection (the engine-level
+    /// `DriveConfig.kernels` switch lands here).
+    pub fn with_kernel(kind: KernelKind) -> Self {
+        Self {
+            kernel: kind.resolve(),
+            ..Default::default()
+        }
+    }
+
+    /// The resolved kernel chunked operations should dispatch on.
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Attribute `n` 512-bit kernel calls to the SIMD or scalar counter.
+    #[inline]
+    pub fn note_kernel_ops(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let ctr = if self.kernel.is_simd() {
+            &self.kernel_simd_calls
+        } else {
+            &self.kernel_scalar_calls
+        };
+        ctr.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Record one fresh set allocation with its measured cost.
     pub fn note_alloc(&self, set: &FutureSet, delta: AllocDelta) {
+        self.note_kernel_ops(delta.kernel_ops);
         self.allocations.fetch_add(1, Ordering::Relaxed);
         self.bytes_allocated
             .fetch_add(delta.fresh_bytes as u64, Ordering::Relaxed);
@@ -704,6 +779,8 @@ impl SetStats {
             chunks_shared: self.chunks_shared.load(Ordering::Relaxed),
             chunks_copied: self.chunks_copied.load(Ordering::Relaxed),
             lineage_hits: self.lineage_hits.load(Ordering::Relaxed),
+            kernel_simd_calls: self.kernel_simd_calls.load(Ordering::Relaxed),
+            kernel_scalar_calls: self.kernel_scalar_calls.load(Ordering::Relaxed),
         }
     }
 }
@@ -734,17 +811,26 @@ pub fn merge(a: &Arc<FutureSet>, b: &Arc<FutureSet>, stats: &SetStats) -> Arc<Fu
             return Arc::clone(a);
         }
     }
+    let k = stats.kernel();
     let (qa, qb) = (a.quick_len(), b.quick_len());
     let b_may_cover = !matches!((qa, qb), (Some(x), Some(y)) if y > x);
-    if b_may_cover && b.is_subset(a) {
-        return Arc::clone(a);
+    if b_may_cover {
+        let (sub, kops) = b.is_subset_k(a, k);
+        stats.note_kernel_ops(kops);
+        if sub {
+            return Arc::clone(a);
+        }
     }
     let a_may_cover = !matches!((qa, qb), (Some(x), Some(y)) if x > y);
-    if a_may_cover && a.is_subset(b) {
-        return Arc::clone(b);
+    if a_may_cover {
+        let (sub, kops) = a.is_subset_k(b, k);
+        stats.note_kernel_ops(kops);
+        if sub {
+            return Arc::clone(b);
+        }
     }
     stats.merges.fetch_add(1, Ordering::Relaxed);
-    let (u, delta) = a.union_counted(b);
+    let (u, delta) = a.union_counted_k(b, k);
     stats.note_alloc(&u, delta);
     Arc::new(u)
 }
@@ -754,7 +840,7 @@ pub fn with_future(set: &Arc<FutureSet>, f: FutureId, stats: &SetStats) -> Arc<F
     if set.contains(f) {
         return Arc::clone(set);
     }
-    let (s, delta) = set.with_counted(f);
+    let (s, delta) = set.with_counted_k(f, stats.kernel());
     stats.note_alloc(&s, delta);
     Arc::new(s)
 }

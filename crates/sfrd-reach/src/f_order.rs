@@ -19,9 +19,11 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use sfrd_dag::FutureId;
 
+use crate::arena::NodeArena;
 use crate::bitmap::SetStats;
 use crate::hash::FxHashMap;
 use crate::sp_order::{SpOrder, SpPos, SpTask, StrandPos};
@@ -59,11 +61,23 @@ impl FoStrand {
     }
 }
 
+/// Per-future state in the engine's slab arena: the memoized
+/// "done table" (`nsp(last(G)) + put node`) the first get publishes, so
+/// fan-in gets of one future clone the table once, not once per getter.
+/// Sound for the same reason as SF-Order's memoization: `done.nsp` is
+/// frozen once the future completed, which the runtime orders before
+/// every get.
+#[derive(Debug, Default)]
+struct FoNode {
+    done: OnceLock<Arc<NspTable>>,
+}
+
 /// The F-Order reachability engine.
 pub struct FoReach {
     sp: SpOrder,
     next_future: AtomicU32,
     stats: SetStats,
+    nodes: NodeArena<FoNode>,
 }
 
 /// Rough heap footprint of one table (capacity-insensitive estimate used
@@ -84,13 +98,24 @@ impl FoReach {
             sp,
             next_future: AtomicU32::new(1),
             stats: SetStats::default(),
+            nodes: NodeArena::new(),
         };
+        engine.nodes.set(FutureId::ROOT.0, FoNode::default());
         let root = FoStrand {
             sp: task,
             future: FutureId::ROOT,
             nsp: Arc::new(NspTable::default()),
         };
         (engine, root)
+    }
+
+    /// The arena node of future `f` (published at create — see the
+    /// `arena` module docs for why it is always visible here).
+    #[inline]
+    fn node(&self, f: FutureId) -> &FoNode {
+        self.nodes
+            .get(f.0)
+            .expect("future node published before use")
     }
 
     /// Insert op node `(f, w)` into `table` keeping the per-future
@@ -124,6 +149,7 @@ impl FoReach {
         let parent_future = parent.future;
         let child_sp = self.sp.fork(&mut parent.sp);
         let fid = FutureId(self.next_future.fetch_add(1, Ordering::Relaxed));
+        self.nodes.set(fid.0, FoNode::default());
         let mut table = (*parent.nsp).clone();
         self.insert_op(&mut table, parent_future, create_pos);
         self.note_alloc(&table);
@@ -143,12 +169,17 @@ impl FoReach {
         }
     }
 
-    /// `get`: absorb the put side's table plus the put node itself.
+    /// `get`: absorb the put side's table plus the put node itself. The
+    /// "done table" depends only on the completed future, so the first
+    /// get memoizes it in the future's arena node.
     pub fn get(&self, s: &mut FoStrand, done: &FoStrand) {
-        let mut with_put = (*done.nsp).clone();
-        self.insert_op(&mut with_put, done.future, done.pos().sp);
-        self.note_alloc(&with_put);
-        s.nsp = self.merge_tables(&s.nsp, &Arc::new(with_put));
+        let with_put = self.node(done.future).done.get_or_init(|| {
+            let mut t = (*done.nsp).clone();
+            self.insert_op(&mut t, done.future, done.pos().sp);
+            self.note_alloc(&t);
+            Arc::new(t)
+        });
+        s.nsp = self.merge_tables(&s.nsp, with_put);
     }
 
     /// Implicit task-end sync.
@@ -209,9 +240,14 @@ impl FoReach {
         &self.stats
     }
 
-    /// Heap bytes: OM lists + cumulative table payloads.
+    /// Slabs bump-allocated in the per-future node arena.
+    pub fn arena_slabs(&self) -> u64 {
+        self.nodes.slabs_allocated()
+    }
+
+    /// Heap bytes: OM lists + cumulative table payloads + arena slabs.
     pub fn heap_bytes(&self) -> usize {
-        self.sp.heap_bytes() + self.stats.snapshot().1 as usize
+        self.sp.heap_bytes() + self.stats.snapshot().1 as usize + self.nodes.heap_bytes()
     }
 }
 

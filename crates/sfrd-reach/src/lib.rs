@@ -13,8 +13,9 @@
 //!   sequential-only SP-bags union-find specialization.
 //!
 //! Shared substrates: [`sp_order::SpOrder`] (English/Hebrew order
-//! maintenance over `PSP(D)`), [`bitmap::FutureSet`] (future-id bitmaps),
-//! and a local Fx-style hasher ([`hash`]).
+//! maintenance over `PSP(D)`), [`bitmap::FutureSet`] (future-id bitmaps)
+//! with 512-bit SIMD/scalar chunk [`kernels`], a slab [`arena`] for
+//! per-future reach nodes, and a local Fx-style hasher ([`hash`]).
 //!
 //! ```
 //! use sfrd_reach::SfReach;
@@ -33,16 +34,20 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bitmap;
 pub mod chunked;
 pub mod f_order;
 pub mod hash;
+pub mod kernels;
 pub mod multibags;
 pub mod sf_order;
 pub mod sp_order;
 
+pub use arena::NodeArena;
 pub use bitmap::{FutureSet, SetRepr, SetStats, SetStatsSnapshot};
 pub use f_order::{FoReach, FoStrand};
+pub use kernels::{Kernel, KernelKind, Merge512};
 pub use multibags::{MbPos, MbReach, MbStrand};
 pub use sf_order::{SfPos, SfReach, SfStrand};
 pub use sp_order::{SpOrder, SpPos, SpTask, StrandPos};

@@ -161,13 +161,18 @@ impl MbReach {
 
     /// New engine with an explicit `cp`/`gp` set-representation family.
     pub fn with_repr(repr: SetRepr) -> (Self, MbStrand) {
+        Self::with_config(repr, crate::kernels::KernelKind::default())
+    }
+
+    /// New engine with an explicit set family and chunk-kernel selection.
+    pub fn with_config(repr: SetRepr, kernels: crate::kernels::KernelKind) -> (Self, MbStrand) {
         let mut uf = UnionFind::default();
         let e0 = uf.singleton(Kind::S);
         let empty = Arc::new(FutureSet::empty_in(repr));
         let engine = Self {
             uf,
             next_future: 1,
-            stats: SetStats::default(),
+            stats: SetStats::with_kernel(kernels),
         };
         let root = MbStrand {
             elem: e0,

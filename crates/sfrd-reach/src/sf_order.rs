@@ -19,27 +19,49 @@
 //! Maintenance (§3.4): `cp` is copied once per create (O(k) each, O(k²)
 //! total); `gp` is pointer-shared through single-parent nodes and merged at
 //! sync/get nodes only when both sides diverge (O(k) merges total).
+//!
+//! Layout (this crate's perf pass): per-future state (`cp`, plus the
+//! memoized `gp(last(G)) ∪ {G}` a get publishes) lives in a slab
+//! [`NodeArena`] keyed by `FutureId` instead of being scattered across
+//! per-strand `Arc` clones — strands stay small (spawn/create no longer
+//! bump a `cp` refcount), nodes of nearby futures share cache lines, and
+//! repeated gets of the same future reuse one set instead of rebuilding
+//! it. Memoization is sound because `done.gp` is frozen by the time any
+//! get observes the future completed (the runtime orders `task_end`
+//! before every `get`), so the first-computed value is *the* value.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use sfrd_dag::FutureId;
 
+use crate::arena::NodeArena;
 use crate::bitmap::{merge, with_future, FutureSet, SetRepr, SetStats};
+use crate::kernels::KernelKind;
 use crate::sp_order::{SpOrder, SpTask, StrandPos};
 
 /// SF-Order's access-history key (shared across engines).
 pub type SfPos = StrandPos;
 
-/// Per-task SF-Order state, threaded through the runtime hooks.
+/// Per-task SF-Order state, threaded through the runtime hooks. The
+/// owning future's `cp` is *not* carried here — it lives in the engine's
+/// node arena, looked up by `future` on the (rarer) cross-future query.
 #[derive(Debug)]
 pub struct SfStrand {
     sp: SpTask,
     future: FutureId,
-    /// `cp` of the owning future (proper ancestors).
-    cp: Arc<FutureSet>,
     /// `gp` of the current strand.
     gp: Arc<FutureSet>,
+}
+
+/// Per-future state in the engine's slab arena.
+#[derive(Debug)]
+struct SfNode {
+    /// `cp` of the future (proper future ancestors), fixed at create.
+    cp: Arc<FutureSet>,
+    /// Memoized `gp(last(G)) ∪ {G}`, published by the first get.
+    done_gp: OnceLock<Arc<FutureSet>>,
 }
 
 impl SfStrand {
@@ -70,6 +92,7 @@ pub struct SfReach {
     sp: SpOrder,
     next_future: AtomicU32,
     stats: SetStats,
+    nodes: NodeArena<SfNode>,
 }
 
 impl SfReach {
@@ -83,43 +106,72 @@ impl SfReach {
     /// (the dense baseline is kept for the `set_repr` ablation and
     /// differential testing).
     pub fn with_repr(repr: SetRepr) -> (Self, SfStrand) {
+        Self::with_config(repr, KernelKind::default())
+    }
+
+    /// New engine with an explicit set family and chunk-kernel selection.
+    pub fn with_config(repr: SetRepr, kernels: KernelKind) -> (Self, SfStrand) {
         let (sp, task) = SpOrder::new();
         let empty = Arc::new(FutureSet::empty_in(repr));
         let engine = Self {
             sp,
             next_future: AtomicU32::new(1),
-            stats: SetStats::default(),
+            stats: SetStats::with_kernel(kernels),
+            nodes: NodeArena::new(),
         };
+        engine.nodes.set(
+            FutureId::ROOT.0,
+            SfNode {
+                cp: Arc::clone(&empty),
+                done_gp: OnceLock::new(),
+            },
+        );
         let root = SfStrand {
             sp: task,
             future: FutureId::ROOT,
-            cp: Arc::clone(&empty),
             gp: empty,
         };
         (engine, root)
     }
 
-    /// `spawn`: child shares the future, `cp`, and (pointer-shared) `gp`.
+    /// The arena node of future `f`. A future id only reaches a caller
+    /// through events ordered after its create, so the node is always
+    /// published (see `arena` module docs).
+    #[inline]
+    fn node(&self, f: FutureId) -> &SfNode {
+        self.nodes
+            .get(f.0)
+            .expect("future node published before use")
+    }
+
+    /// `spawn`: child shares the future and (pointer-shared) `gp`; `cp`
+    /// is per-future state in the arena, so nothing else is copied.
     pub fn spawn(&self, parent: &mut SfStrand) -> SfStrand {
         let child_sp = self.sp.fork(&mut parent.sp);
         SfStrand {
             sp: child_sp,
             future: parent.future,
-            cp: Arc::clone(&parent.cp),
             gp: Arc::clone(&parent.gp),
         }
     }
 
     /// `create`: mint a future id; the child's `cp` is the parent's plus
-    /// the parent future itself (the O(k)-per-create copy of Lemma 3.12).
+    /// the parent future itself (the O(k)-per-create copy of Lemma 3.12),
+    /// published into the node arena under the new id.
     pub fn create(&self, parent: &mut SfStrand) -> SfStrand {
         let child_sp = self.sp.fork(&mut parent.sp);
         let fid = FutureId(self.next_future.fetch_add(1, Ordering::Relaxed));
-        let cp = with_future(&parent.cp, parent.future, &self.stats);
+        let cp = with_future(&self.node(parent.future).cp, parent.future, &self.stats);
+        self.nodes.set(
+            fid.0,
+            SfNode {
+                cp,
+                done_gp: OnceLock::new(),
+            },
+        );
         SfStrand {
             sp: child_sp,
             future: fid,
-            cp,
             gp: Arc::clone(&parent.gp),
         }
     }
@@ -134,10 +186,16 @@ impl SfReach {
     }
 
     /// `get` of a completed future whose final strand is `done`:
-    /// `gp(g) = gp(u) ∪ gp(last(G)) ∪ {G}`.
+    /// `gp(g) = gp(u) ∪ gp(last(G)) ∪ {G}`. The `gp(last(G)) ∪ {G}` part
+    /// depends only on the completed future, so the first get memoizes it
+    /// in the future's arena node and later gets (fan-in on a popular
+    /// future) merge the shared set instead of rebuilding it.
     pub fn get(&self, s: &mut SfStrand, done: &SfStrand) {
-        let with_done = with_future(&done.gp, done.future, &self.stats);
-        s.gp = merge(&s.gp, &with_done, &self.stats);
+        let with_done = self
+            .node(done.future)
+            .done_gp
+            .get_or_init(|| with_future(&done.gp, done.future, &self.stats));
+        s.gp = merge(&s.gp, with_done, &self.stats);
     }
 
     /// Implicit task-end sync (closes the PSP sync block).
@@ -146,10 +204,15 @@ impl SfReach {
     }
 
     /// **Algorithm 1**: does the strand recorded as `u` precede the current
-    /// strand `v` (reflexively)? O(1).
+    /// strand `v` (reflexively)? O(1). The same-future case answers from
+    /// the strand alone; only the cross-future cases touch `cp`, which is
+    /// one arena lookup away.
     #[inline]
     pub fn precedes(&self, u: SfPos, v: &SfStrand) -> bool {
-        self.precedes_pos(u, v.pos(), &v.cp, &v.gp)
+        if u.future == v.future {
+            return self.sp.precedes_eq(u.sp, v.sp.pos());
+        }
+        self.precedes_pos(u, v.pos(), &self.node(v.future).cp, &v.gp)
     }
 
     /// Query between two recorded positions, given the querier also knows
@@ -184,10 +247,20 @@ impl SfReach {
         &self.stats
     }
 
+    /// `cp` of future `f` — the per-future ancestor set from the arena.
+    pub fn cp_of(&self, f: FutureId) -> &Arc<FutureSet> {
+        &self.node(f).cp
+    }
+
+    /// Slabs bump-allocated in the per-future node arena.
+    pub fn arena_slabs(&self) -> u64 {
+        self.nodes.slabs_allocated()
+    }
+
     /// Heap bytes of the reachability structures: OM lists + cumulative
-    /// bitmap payloads.
+    /// bitmap payloads + the node-arena slabs.
     pub fn heap_bytes(&self) -> usize {
-        self.sp.heap_bytes() + self.stats.snapshot().1 as usize
+        self.sp.heap_bytes() + self.stats.snapshot().1 as usize + self.nodes.heap_bytes()
     }
 }
 
@@ -241,9 +314,11 @@ mod tests {
         // The root's continuation after the create is ∥ F and G.
         assert!(!eng.precedes(after_create, &g));
         // cp chains: G's ancestors are {root, F}.
-        assert!(g.cp.contains(FutureId::ROOT));
-        assert!(g.cp.contains(f.future()));
-        assert!(!g.cp.contains(g.future()));
+        let g_cp = eng.cp_of(g.future());
+        assert!(g_cp.contains(FutureId::ROOT));
+        assert!(g_cp.contains(f.future()));
+        assert!(!g_cp.contains(g.future()));
+        assert!(eng.arena_slabs() >= 1, "nodes live in the slab arena");
     }
 
     /// Case 3: sibling futures are unrelated until a get links them.
@@ -308,6 +383,29 @@ mod tests {
         assert_eq!(a.future(), FutureId(1));
         assert_eq!(b.future(), FutureId(2));
         assert_eq!(eng.future_count(), 3);
+    }
+
+    /// Fan-in gets of one future must reuse the memoized
+    /// `gp(last(G)) ∪ {G}` set instead of rebuilding it per getter.
+    #[test]
+    fn repeated_gets_reuse_memoized_done_set() {
+        let (eng, mut root) = SfReach::new();
+        let mut f = eng.create(&mut root);
+        eng.task_end(&mut f);
+        let mut sib = eng.spawn(&mut root);
+        eng.get(&mut root, &f);
+        let after_first = eng.set_stats().full_snapshot().allocations;
+        eng.get(&mut sib, &f);
+        assert_eq!(
+            eng.set_stats().full_snapshot().allocations,
+            after_first,
+            "second get of the same future must not allocate"
+        );
+        assert!(
+            Arc::ptr_eq(root.gp(), sib.gp()),
+            "both getters share the one memoized set"
+        );
+        assert!(eng.precedes(f.pos(), &sib));
     }
 
     #[test]

@@ -381,6 +381,15 @@ impl<P: Copy + Send + PartialEq> AccessHistory<P> {
         }
     }
 
+    /// Software prefetches issued by batch replays (paged backend only;
+    /// 0 on sharded).
+    pub fn prefetch_issued(&self) -> u64 {
+        match self {
+            AccessHistory::Sharded(_) => 0,
+            AccessHistory::Paged(h) => h.prefetches(),
+        }
+    }
+
     /// Number of tracked locations.
     pub fn locations(&self) -> usize {
         match self {
@@ -524,6 +533,29 @@ mod tests {
         }
         assert_eq!(h.lock_ops(), 0, "mapped addressing path took a lock");
         assert!(h.page_allocs() >= 1);
+    }
+
+    #[test]
+    fn prefetch_slot_is_passive_and_counted() {
+        let h: AccessHistory<Pos> = AccessHistory::with_policy(ReaderPolicy::All);
+        let AccessHistory::Paged(p) = &h else {
+            panic!("default backend is paged")
+        };
+        // No page exists yet: the hint must not allocate one.
+        assert!(!p.prefetch_slot(0x40));
+        assert_eq!(h.page_allocs(), 0);
+        // Out-of-range addresses are skipped entirely.
+        assert!(!p.prefetch_slot(1u64 << 60));
+        // After a real access publishes the page, the hint resolves.
+        h.locked(0x40, |e| e.begin_write_epoch((1, 1)));
+        assert!(p.prefetch_slot(0x40));
+        assert!(p.prefetch_slot(0x48), "same page, different slot");
+        assert_eq!(h.prefetch_issued(), 0, "hints are tallied by the caller");
+        p.note_prefetches(2);
+        assert_eq!(h.prefetch_issued(), 2);
+        // Sharded backend reports zero through the facade.
+        let s: AccessHistory<Pos> = AccessHistory::new(ReaderPolicy::All, ShadowBackend::Sharded);
+        assert_eq!(s.prefetch_issued(), 0);
     }
 
     #[test]

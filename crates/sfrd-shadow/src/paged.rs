@@ -98,6 +98,21 @@ pub const MAPPED_BITS: u32 = SLOT_SHIFT + PAGE_SHIFT + MID_SHIFT + ROOT_BITS;
 /// Slot-owner sentinel: no address has claimed the slot yet.
 const UNCLAIMED: u64 = u64::MAX;
 
+/// Best-effort software prefetch of the cache line at `p` (T0 hint on
+/// x86_64, no-op elsewhere). Local copy of the sfrd-reach kernel helper —
+/// this crate must not depend on the reachability layer.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 is architecturally defined to be safe on any
+    // address, mapped or not.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 // Packed-word layout.
 const BUSY: u64 = 1;
 const TAG_SHIFT: u32 = 1;
@@ -246,6 +261,8 @@ pub struct PagedHistory<P: Copy + Send> {
     cas_retries: AtomicU64,
     /// Pages published into the directory.
     page_allocs: AtomicU64,
+    /// Software prefetches issued by batch replays ([`Self::prefetch_slot`]).
+    prefetches: AtomicU64,
 }
 
 impl<P: Copy + Send> PagedHistory<P> {
@@ -263,6 +280,7 @@ impl<P: Copy + Send> PagedHistory<P> {
             fast_hits: AtomicU64::new(0),
             cas_retries: AtomicU64::new(0),
             page_allocs: AtomicU64::new(0),
+            prefetches: AtomicU64::new(0),
         }
     }
 
@@ -290,6 +308,41 @@ impl<P: Copy + Send> PagedHistory<P> {
     /// Pages published into the directory.
     pub fn page_allocs(&self) -> u64 {
         self.page_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Software prefetches issued so far.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches.load(Ordering::Relaxed)
+    }
+
+    /// Credit `n` prefetches issued by a batch replay. Counted once per
+    /// batch by the caller — a per-access atomic add would cost more than
+    /// the prefetch hides.
+    pub fn note_prefetches(&self, n: u64) {
+        if n != 0 {
+            self.prefetches.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Best-effort prefetch of the slot cache line `addr` maps to, without
+    /// allocating pages or disturbing any [`PageCursor`] memo. Walks the
+    /// root→mid directory (two dependent loads — the page itself is the
+    /// cheap part; the *slot* line inside it is the likely miss a batch
+    /// replay wants hidden) and issues a T0 hint on the slot. Returns
+    /// whether a hint was issued so the caller can tally them.
+    #[inline]
+    pub fn prefetch_slot(&self, addr: u64) -> bool {
+        if addr >> MAPPED_BITS != 0 {
+            return false;
+        }
+        let word = addr >> SLOT_SHIFT;
+        match self.page_for(word, false) {
+            Some(page) => {
+                prefetch_read(&page.slots[(word & (PAGE_SLOTS as u64 - 1)) as usize]);
+                true
+            }
+            None => false,
+        }
     }
 
     /// A page cursor: batch flushers iterate accesses through one cursor so

@@ -353,6 +353,103 @@ fn adaptive_sets_cut_bytes_4x_on_future_chains() {
     );
 }
 
+/// The SIMD chunk kernels must not change *what* is detected: SF-Order
+/// with the scalar lane loops pinned and with auto-dispatched kernels
+/// reports the same racy address set at 4 and 8 workers, on a seeded
+/// corpus of random structured-future programs (MultiBags rides along as
+/// the sequential cross-check — it shares the chunked sets).
+#[test]
+fn kernels_agree_on_racy_sets() {
+    use sfrd::core::KernelKind;
+    let mut rng = StdRng::seed_from_u64(0x51D);
+    let mut saw_a_race = false;
+    for round in 0..6 {
+        let prog = GenProgram::random(&mut rng, &gen_params());
+        let mut reference: Option<BTreeSet<u64>> = None;
+        for kernels in [KernelKind::Scalar, KernelKind::Auto] {
+            let mut cfgs = Vec::new();
+            for workers in [4usize, 8] {
+                cfgs.push(DriveConfig {
+                    kernels,
+                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                });
+            }
+            cfgs.push(DriveConfig {
+                kernels,
+                ..DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)
+            });
+            for cfg in cfgs {
+                let w = GenWorkload(prog.clone());
+                let rep = drive(&w, cfg).report.unwrap();
+                match &reference {
+                    None => reference = Some(rep.racy_addrs),
+                    Some(want) => assert_eq!(
+                        &rep.racy_addrs, want,
+                        "round {round} {kernels:?}: racy sets diverge\nprogram: {prog:?}"
+                    ),
+                }
+            }
+        }
+        saw_a_race |= !reference.unwrap().is_empty();
+    }
+    assert!(
+        saw_a_race,
+        "kernels corpus never raced — tighten gen_params, the test is vacuous"
+    );
+}
+
+/// Counting parity end-to-end through `drive()`: the deterministic
+/// future-chain workload at 1 worker performs the same 512-bit kernel
+/// ops whichever kernel executes them — only the absorbing counter
+/// differs. A scalar run must never tick the SIMD counter, an auto run
+/// on vector hardware must never tick the scalar one, and the totals
+/// (plus every other metric the engine derives from set contents) must
+/// match exactly.
+#[test]
+fn kernel_counters_split_but_totals_match() {
+    use sfrd::core::KernelKind;
+    let mut reports = Vec::new();
+    for kernels in [KernelKind::Scalar, KernelKind::Auto] {
+        let w = FutureChain { k: 2048 };
+        let rep = drive(
+            &w,
+            DriveConfig {
+                kernels,
+                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1)
+            },
+        )
+        .report
+        .unwrap();
+        assert_eq!(rep.counts.futures, 2048);
+        reports.push(rep);
+    }
+    let (scalar, auto) = (&reports[0], &reports[1]);
+    assert!(
+        scalar.metrics.kernel_scalar_calls > 0,
+        "k=2048 chain must hit the chunked kernels"
+    );
+    assert_eq!(scalar.metrics.kernel_simd_calls, 0);
+    let total = |m: &sfrd::core::MetricsSnapshot| m.kernel_simd_calls + m.kernel_scalar_calls;
+    assert_eq!(
+        total(&scalar.metrics),
+        total(&auto.metrics),
+        "kernel-op totals diverge between kernel settings"
+    );
+    assert_eq!(scalar.metrics.set_bytes, auto.metrics.set_bytes);
+    assert_eq!(scalar.metrics.set_allocs, auto.metrics.set_allocs);
+    assert_eq!(scalar.metrics.bitmap_merges, auto.metrics.bitmap_merges);
+    assert_eq!(scalar.metrics.arena_slabs, auto.metrics.arena_slabs);
+    assert!(
+        scalar.metrics.arena_slabs > 0,
+        "2048 futures must bump-allocate arena slabs"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        assert!(auto.metrics.kernel_simd_calls > 0);
+        assert_eq!(auto.metrics.kernel_scalar_calls, 0);
+    }
+}
+
 /// Decentralized OM inserts cut global-lock traffic: the pre-change
 /// design acquired the OM global mutex once per insert *operation*, so
 /// the old acquisition count equals today's operation count

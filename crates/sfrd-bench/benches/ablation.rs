@@ -22,10 +22,10 @@ fn reader_policy(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let w = make_bench("sw", Scale::Small, 1);
-                let cfg = DriveConfig {
-                    policy,
-                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
-                };
+                let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
+                    .to_builder()
+                    .policy(policy)
+                    .build();
                 black_box(drive(&w, cfg));
             })
         });
@@ -96,10 +96,10 @@ fn shadow_batching(c: &mut Criterion) {
     for name in ["sw", "hw"] {
         for (label, batched) in [("locked_per_access", false), ("sharded_batched", true)] {
             let w = make_bench(name, Scale::Small, 1);
-            let cfg = DriveConfig {
-                batched,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
-            };
+            let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
+                .to_builder()
+                .batched(batched)
+                .build();
             let rep = drive(&w, cfg).report.expect("Full mode returns a report");
             eprintln!(
                 "shadow_batching/{name}/{label}: lock_ops={} batch_flushes={} \
@@ -113,10 +113,10 @@ fn shadow_batching(c: &mut Criterion) {
             g.bench_function(format!("{name}/{label}"), |b| {
                 b.iter(|| {
                     let w = make_bench(name, Scale::Small, 1);
-                    let cfg = DriveConfig {
-                        batched,
-                        ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
-                    };
+                    let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
+                        .to_builder()
+                        .batched(batched)
+                        .build();
                     black_box(drive(&w, cfg));
                 })
             });
@@ -181,11 +181,11 @@ fn shadow_paging(c: &mut Criterion) {
                 ("paged", ShadowBackend::Paged),
             ] {
                 let w = make_bench(name, Scale::Small, 1);
-                let cfg = DriveConfig {
-                    shadow,
-                    policy: ReaderPolicy::PerFutureLR,
-                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
-                };
+                let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                    .to_builder()
+                    .shadow(shadow)
+                    .policy(ReaderPolicy::PerFutureLR)
+                    .build();
                 let rep = drive(&w, cfg).report.expect("Full mode returns a report");
                 let m = &rep.metrics;
                 eprintln!(
@@ -200,11 +200,11 @@ fn shadow_paging(c: &mut Criterion) {
                 g.bench_function(format!("{name}/{workers}w/{label}"), |b| {
                     b.iter(|| {
                         let w = make_bench(name, Scale::Small, 1);
-                        let cfg = DriveConfig {
-                            shadow,
-                            policy: ReaderPolicy::PerFutureLR,
-                            ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
-                        };
+                        let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                            .to_builder()
+                            .shadow(shadow)
+                            .policy(ReaderPolicy::PerFutureLR)
+                            .build();
                         black_box(drive(&w, cfg));
                     })
                 });
@@ -231,10 +231,10 @@ fn set_repr(c: &mut Criterion) {
     for mode in [Mode::Reach, Mode::Full] {
         for (label, repr) in [("dense", SetRepr::Dense), ("adaptive", SetRepr::Adaptive)] {
             let w = make_bench("hw", Scale::Small, 1);
-            let cfg = DriveConfig {
-                set_repr: repr,
-                ..DriveConfig::with(DetectorKind::SfOrder, mode, 1)
-            };
+            let cfg = DriveConfig::with(DetectorKind::SfOrder, mode, 1)
+                .to_builder()
+                .set_repr(repr)
+                .build();
             let rep = drive(&w, cfg).report.expect("detector returns a report");
             let m = &rep.metrics;
             let mode_l = format!("{mode:?}").to_lowercase();
@@ -256,10 +256,10 @@ fn set_repr(c: &mut Criterion) {
             g.bench_function(format!("hw/{mode_l}/{label}"), |b| {
                 b.iter(|| {
                     let w = make_bench("hw", Scale::Small, 1);
-                    let cfg = DriveConfig {
-                        set_repr: repr,
-                        ..DriveConfig::with(DetectorKind::SfOrder, mode, 1)
-                    };
+                    let cfg = DriveConfig::with(DetectorKind::SfOrder, mode, 1)
+                        .to_builder()
+                        .set_repr(repr)
+                        .build();
                     black_box(drive(&w, cfg));
                 })
             });
@@ -282,10 +282,10 @@ fn sched_deque(c: &mut Criterion) {
     ] {
         for workers in [1usize, 2, 4, 8] {
             let w = make_bench("sw", Scale::Small, workers as u64);
-            let cfg = DriveConfig {
-                sched,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
-            };
+            let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                .to_builder()
+                .sched(sched)
+                .build();
             let rep = drive(&w, cfg).report.expect("Full mode returns a report");
             eprintln!(
                 "sched_deque/{label}/w{workers}: tasks_run={} steals={}                  steal_retries={} parks={} wakeups={}",
@@ -298,10 +298,10 @@ fn sched_deque(c: &mut Criterion) {
             g.bench_function(format!("{label}/w{workers}"), |b| {
                 b.iter(|| {
                     let w = make_bench("sw", Scale::Small, workers as u64);
-                    let cfg = DriveConfig {
-                        sched,
-                        ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
-                    };
+                    let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                        .to_builder()
+                        .sched(sched)
+                        .build();
                     black_box(drive(&w, cfg));
                 })
             });
@@ -326,10 +326,10 @@ fn simd_kernels(c: &mut Criterion) {
     for mode in [Mode::Reach, Mode::Full] {
         for (label, kernels) in [("scalar", KernelKind::Scalar), ("auto", KernelKind::Auto)] {
             let w = make_bench("hw", Scale::Small, 1);
-            let cfg = DriveConfig {
-                kernels,
-                ..DriveConfig::with(DetectorKind::SfOrder, mode, 1)
-            };
+            let cfg = DriveConfig::with(DetectorKind::SfOrder, mode, 1)
+                .to_builder()
+                .kernels(kernels)
+                .build();
             let rep = drive(&w, cfg).report.expect("detector returns a report");
             let m = &rep.metrics;
             let mode_l = format!("{mode:?}").to_lowercase();
@@ -345,10 +345,10 @@ fn simd_kernels(c: &mut Criterion) {
             g.bench_function(format!("hw/{mode_l}/{label}"), |b| {
                 b.iter(|| {
                     let w = make_bench("hw", Scale::Small, 1);
-                    let cfg = DriveConfig {
-                        kernels,
-                        ..DriveConfig::with(DetectorKind::SfOrder, mode, 1)
-                    };
+                    let cfg = DriveConfig::with(DetectorKind::SfOrder, mode, 1)
+                        .to_builder()
+                        .kernels(kernels)
+                        .build();
                     black_box(drive(&w, cfg));
                 })
             });

@@ -78,10 +78,10 @@ fn main() {
             let (out, _) = run_bench(
                 name,
                 args.scale,
-                DriveConfig {
-                    shadow: backend,
-                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
-                },
+                DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1)
+                    .to_builder()
+                    .shadow(backend)
+                    .build(),
             );
             bytes[i] = out.report.unwrap().history_bytes;
         }

@@ -120,11 +120,11 @@ fn main() {
             let w = FutureChain { k };
             let out = drive(
                 &w,
-                DriveConfig {
-                    set_repr,
-                    kernels,
-                    ..DriveConfig::with(kind, Mode::Reach, 1)
-                },
+                DriveConfig::with(kind, Mode::Reach, 1)
+                    .to_builder()
+                    .set_repr(set_repr)
+                    .kernels(kernels)
+                    .build(),
             );
             let rep = out.report.unwrap();
             assert_eq!(rep.counts.futures as usize, k);

@@ -1,103 +1,318 @@
-//! Record and analyze execution traces offline.
+//! Record and analyze executions offline — text dag traces and binary
+//! strand-event journals.
 //!
 //! ```sh
-//! # Record a benchmark's execution (dag + access log) to a trace file:
-//! cargo run -p sfrd-bench --release --bin trace_tool -- record sw /tmp/sw.trace --scale small
+//! # Record a benchmark's dag + access log to a text trace:
+//! trace_tool record sw /tmp/sw.trace --scale small
 //!
-//! # Analyze a trace: structure validation, dag stats, exact race set:
-//! cargo run -p sfrd-bench --release --bin trace_tool -- analyze /tmp/sw.trace
+//! # Record the strand-event stream to a binary journal instead:
+//! trace_tool record sw /tmp/sw.journal --scale small --journal
+//!
+//! # Analyze either kind (the format is sniffed from the magic bytes):
+//! trace_tool analyze /tmp/sw.trace
+//! trace_tool analyze /tmp/sw.journal
+//!
+//! # Replay a journal into a detector (same backend flags everywhere):
+//! trace_tool detect /tmp/sw.journal --detector sf --shadow paged
 //! ```
 //!
-//! Offline analysis uses the brute-force oracle, so it is exact but
-//! quadratic per location — meant for small/medium traces and debugging,
-//! not for the full-scale benchmarks.
+//! Text-trace analysis uses the brute-force oracle, so it is exact but
+//! quadratic per location — meant for small/medium traces and debugging.
+//! Journal detection replays the recorded stream through the real
+//! detectors, so it scales like live detection. Malformed inputs of
+//! either kind produce an error message and a nonzero exit, never a
+//! panic.
 
-use std::io::{BufReader, BufWriter};
+use std::collections::BTreeSet;
+use std::io::BufWriter;
+use std::process::ExitCode;
 use std::sync::Arc;
 
-use sfrd_core::{RecordingHooks, Workload};
-use sfrd_dag::{read_trace, write_trace};
-use sfrd_runtime::run_sequential;
+use sfrd_core::{
+    DriveConfig, DriveConfigBuilder, EngineConfig, FoDetector, MbDetector, RaceReport,
+    RecordingHooks, SfDetector, Workload,
+};
+use sfrd_dag::{read_trace, write_trace, RecordedProgram};
+use sfrd_runtime::{run_sequential, Batched};
+use sfrd_trace::{is_journal, replay_journal, JournalHooks, JournalReader, JournalWriter};
 use sfrd_workloads::{make_bench, Scale, BENCH_NAMES};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage:\n  trace_tool record <bench> <file> [--scale small|medium|paper]\n  \
-         trace_tool analyze <file>"
-    );
-    std::process::exit(2);
+fn usage() -> String {
+    format!(
+        "usage:\n  trace_tool record <bench> <file> [--scale small|medium|paper] [--journal]\n  \
+         trace_tool analyze <file>\n  \
+         trace_tool detect <file> [--detector sf|f|mb] {}",
+        DriveConfigBuilder::backend_flag_usage()
+    )
 }
 
-fn main() {
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_tool: {msg}");
+    eprintln!("{}", usage());
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("record") => {
-            let name = args.get(1).unwrap_or_else(|| usage());
-            let path = args.get(2).unwrap_or_else(|| usage());
-            if !BENCH_NAMES.contains(&name.as_str()) {
-                eprintln!("unknown bench {name:?}");
-                usage();
-            }
-            let scale = match args.get(4).map(String::as_str) {
-                Some("medium") => Scale::Medium,
-                Some("paper") => Scale::Paper,
-                _ => Scale::Small,
-            };
-            let hooks = RecordingHooks::new();
-            let w = make_bench(name, scale, 0xBE7C);
-            run_sequential(&hooks, |ctx| w.run(ctx));
-            assert!(
-                w.verify_ok(),
-                "workload failed verification while recording"
-            );
-            let recorded = RecordingHooks::finish(Arc::new(hooks));
-            let file = std::fs::File::create(path).expect("create trace file");
-            write_trace(&recorded, BufWriter::new(file)).expect("write trace");
-            println!(
-                "recorded {name} ({:?}): {} nodes, {} futures, {} accesses -> {path}",
-                scale,
-                recorded.dag.node_count(),
-                recorded.dag.future_count(),
-                recorded.log.len()
-            );
-        }
-        Some("analyze") => {
-            let path = args.get(1).unwrap_or_else(|| usage());
-            let file = std::fs::File::open(path).expect("open trace file");
-            let recorded = read_trace(BufReader::new(file)).expect("parse trace");
-            let (work, span) = recorded.dag.work_span();
-            println!(
-                "trace: {} nodes, {} futures, {} edges, {} accesses",
-                recorded.dag.node_count(),
-                recorded.dag.future_count(),
-                recorded.dag.edge_count(),
-                recorded.log.len()
-            );
-            println!(
-                "work = {work}, span = {span}, parallelism = {:.2}",
-                work as f64 / span.max(1) as f64
-            );
-            match recorded.validate() {
-                Ok(()) => println!("structured-future restrictions: OK"),
-                Err(e) => println!("STRUCTURE VIOLATION: {e}"),
-            }
-            let races = recorded.races();
-            if races.is_empty() {
-                println!("races: none");
-            } else {
-                println!("races: {} pairs on {} locations", races.len(), {
-                    let addrs: std::collections::BTreeSet<u64> =
-                        races.iter().map(|r| r.addr).collect();
-                    addrs.len()
-                });
-                for r in races.iter().take(10) {
-                    println!("  addr {:#x}: {} || {}", r.addr, r.a, r.b);
-                }
-                if races.len() > 10 {
-                    println!("  ... ({} more)", races.len() - 10);
-                }
-            }
-        }
-        _ => usage(),
+        Some("record") => record(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
+        Some("detect") => detect(&args[1..]),
+        _ => fail("expected a command"),
     }
+}
+
+fn record(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return fail("record: missing bench name");
+    };
+    let Some(path) = args.get(1) else {
+        return fail("record: missing output file");
+    };
+    if !BENCH_NAMES.contains(&name.as_str()) {
+        return fail(&format!("unknown bench {name:?}"));
+    }
+    let mut scale = Scale::Small;
+    let mut journal = false;
+    let mut rest = args[2..].iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match rest.next().map(String::as_str) {
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    Some("paper") => Scale::Paper,
+                    other => return fail(&format!("bad --scale {other:?}")),
+                }
+            }
+            "--journal" => journal = true,
+            other => return fail(&format!("record: unknown flag {other:?}")),
+        }
+    }
+    let w = make_bench(name, scale, 0xBE7C);
+
+    if journal {
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("create {path}: {e}")),
+        };
+        let meta = format!("bench={name} scale={scale:?} seed=0xBE7C");
+        let writer = match JournalWriter::new(BufWriter::new(file), &meta) {
+            Ok(w) => w,
+            Err(e) => return fail(&format!("write {path}: {e}")),
+        };
+        let hooks = Batched::new(JournalHooks::new(writer));
+        run_sequential(&hooks, |ctx| w.run(ctx));
+        assert!(
+            w.verify_ok(),
+            "workload failed verification while recording"
+        );
+        let stats = hooks.stats();
+        match hooks.into_inner().finish_owned().and_then(|b| {
+            b.into_inner()
+                .map_err(|e| e.into_error())
+                .and_then(|mut f| std::io::Write::flush(&mut f).map(|()| f))
+        }) {
+            Ok(_) => {}
+            Err(e) => return fail(&format!("write {path}: {e}")),
+        }
+        println!(
+            "recorded {name} ({scale:?}) journal: {} batch flushes, {} accesses \
+             recorded, {} filtered -> {path}",
+            stats.flushes, stats.recorded, stats.filtered
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let hooks = RecordingHooks::new();
+    run_sequential(&hooks, |ctx| w.run(ctx));
+    assert!(
+        w.verify_ok(),
+        "workload failed verification while recording"
+    );
+    let recorded = RecordingHooks::finish(Arc::new(hooks));
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("create {path}: {e}")),
+    };
+    if let Err(e) = write_trace(&recorded, BufWriter::new(file)) {
+        return fail(&format!("write {path}: {e}"));
+    }
+    println!(
+        "recorded {name} ({scale:?}): {} nodes, {} futures, {} accesses -> {path}",
+        recorded.dag.node_count(),
+        recorded.dag.future_count(),
+        recorded.log.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Read `path` and classify it by magic bytes.
+fn sniff(path: &str) -> Result<(Vec<u8>, bool), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let binary = is_journal(&bytes);
+    Ok((bytes, binary))
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("analyze: missing file");
+    };
+    let (bytes, binary) = match sniff(path) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    if binary {
+        return match analyze_journal(&bytes) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&format!("{path}: {e}")),
+        };
+    }
+    let recorded = match read_trace(&bytes[..]) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    analyze_text(&recorded);
+    ExitCode::SUCCESS
+}
+
+/// Journal summary: header metadata plus a full decode pass (which also
+/// proves the stream is well formed).
+fn analyze_journal(bytes: &[u8]) -> Result<(), sfrd_trace::JournalError> {
+    let mut reader = JournalReader::new(bytes)?;
+    println!(
+        "binary strand-event journal; metadata: {:?}",
+        reader.metadata()
+    );
+    let mut events = 0u64;
+    let mut batches = 0u64;
+    let mut accesses = 0u64;
+    let mut strands = 1u64; // root
+    while let Some(ev) = reader.next_event()? {
+        events += 1;
+        match ev {
+            sfrd_trace::JEvent::Spawn { .. } | sfrd_trace::JEvent::Create { .. } => strands += 1,
+            sfrd_trace::JEvent::Accesses { entries, .. } => {
+                batches += 1;
+                accesses += entries.len() as u64;
+            }
+            _ => {}
+        }
+    }
+    println!("{events} events: {strands} strands, {batches} access batches, {accesses} accesses");
+    println!("replayable with: trace_tool detect <file> [--detector sf|f|mb]");
+    Ok(())
+}
+
+fn analyze_text(recorded: &RecordedProgram) {
+    let (work, span) = recorded.dag.work_span();
+    println!(
+        "text dag trace: {} nodes, {} futures, {} edges, {} accesses",
+        recorded.dag.node_count(),
+        recorded.dag.future_count(),
+        recorded.dag.edge_count(),
+        recorded.log.len()
+    );
+    println!(
+        "work = {work}, span = {span}, parallelism = {:.2}",
+        work as f64 / span.max(1) as f64
+    );
+    match recorded.validate() {
+        Ok(()) => println!("structured-future restrictions: OK"),
+        Err(e) => println!("STRUCTURE VIOLATION: {e}"),
+    }
+    let races = recorded.races();
+    if races.is_empty() {
+        println!("races: none");
+    } else {
+        println!("races: {} pairs on {} locations", races.len(), {
+            let addrs: BTreeSet<u64> = races.iter().map(|r| r.addr).collect();
+            addrs.len()
+        });
+        for r in races.iter().take(10) {
+            println!("  addr {:#x}: {} || {}", r.addr, r.a, r.b);
+        }
+        if races.len() > 10 {
+            println!("  ... ({} more)", races.len() - 10);
+        }
+    }
+}
+
+fn detect(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("detect: missing file");
+    };
+    let mut detector = "sf".to_string();
+    let mut backend = DriveConfig::builder();
+    let mut rest = args[1..].iter().cloned();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--detector" => {
+                detector = match rest.next() {
+                    Some(d) => d,
+                    None => return fail("missing value for --detector"),
+                }
+            }
+            flag => match backend.parse_backend_flag(flag, &mut rest) {
+                Ok(true) => {}
+                Ok(false) => return fail(&format!("detect: unknown flag {flag:?}")),
+                Err(e) => return fail(&e),
+            },
+        }
+    }
+    let cfg = EngineConfig::from(&backend.build());
+    let (bytes, binary) = match sniff(path) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    if !binary {
+        // Text traces carry the dag, not the strand-event stream; the
+        // exact oracle is the right tool there.
+        let recorded = match read_trace(&bytes[..]) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        println!("text dag trace: using the exact offline oracle (detectors replay journals)");
+        analyze_text(&recorded);
+        return ExitCode::SUCCESS;
+    }
+    let report = match detector.as_str() {
+        "sf" | "sf-order" => replay_report(&bytes, SfDetector::from_config(&cfg), |d| d.report()),
+        "f" | "f-order" => replay_report(&bytes, FoDetector::from_config(&cfg), |d| d.report()),
+        "mb" | "multibags" => replay_report(&bytes, MbDetector::from_config(&cfg), |d| d.report()),
+        other => return fail(&format!("bad --detector {other:?} (sf|f|mb)")),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("{path}: {e}")),
+    };
+    println!(
+        "races: {} on {} locations ({} reads, {} writes, {} futures replayed)",
+        report.total_races,
+        report.racy_addrs.len(),
+        report.counts.reads,
+        report.counts.writes,
+        report.counts.futures,
+    );
+    for addr in report.racy_addrs.iter().take(10) {
+        println!("  racy addr {addr:#x}");
+    }
+    if report.racy_addrs.len() > 10 {
+        println!("  ... ({} more)", report.racy_addrs.len() - 10);
+    }
+    ExitCode::SUCCESS
+}
+
+fn replay_report<H, F>(
+    bytes: &[u8],
+    det: H,
+    report: F,
+) -> Result<RaceReport, sfrd_trace::JournalError>
+where
+    H: sfrd_runtime::TaskHooks,
+    F: FnOnce(&H) -> RaceReport,
+{
+    let mut reader = JournalReader::new(bytes)?;
+    replay_journal(&mut reader, &det)?;
+    Ok(report(&det))
 }

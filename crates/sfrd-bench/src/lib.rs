@@ -23,8 +23,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sfrd_core::{
-    drive, DetectorKind, DriveConfig, KernelKind, Mode, Outcome, RaceReport, RecordingHooks,
-    SchedBackend, SetRepr, ShadowBackend, Workload,
+    drive, DetectorKind, DriveConfig, DriveConfigBuilder, KernelKind, Mode, OmBackend, Outcome,
+    RaceReport, RecordingHooks, SchedBackend, SetRepr, ShadowBackend, Workload,
 };
 use sfrd_runtime::run_sequential;
 use sfrd_workloads::{make_bench, AnyBench, Scale, BENCH_NAMES};
@@ -60,6 +60,8 @@ pub struct HarnessArgs {
     /// auto — SIMD when the CPU supports it; scalar is the
     /// `simd_kernels` ablation baseline).
     pub kernels: KernelKind,
+    /// Order-maintenance backend (`--om-backend om-list`; reserved slot).
+    pub om_backend: OmBackend,
 }
 
 impl HarnessArgs {
@@ -72,10 +74,9 @@ impl HarnessArgs {
         let mut reps = 1usize;
         let mut json = None;
         let mut json_label = None;
-        let mut shadow = ShadowBackend::default();
-        let mut set_repr = SetRepr::default();
-        let mut sched = SchedBackend::default();
-        let mut kernels = KernelKind::default();
+        // Backend flags route through the one shared parser so every
+        // binary accepts the same spellings.
+        let mut backend = DriveConfig::builder();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -122,41 +123,18 @@ impl HarnessArgs {
                             .unwrap_or_else(|| usage("missing --json-label name")),
                     );
                 }
-                "--shadow" => {
-                    shadow = match args.next().as_deref() {
-                        Some("sharded") => ShadowBackend::Sharded,
-                        Some("paged") => ShadowBackend::Paged,
-                        other => usage(&format!("bad --shadow {other:?}")),
-                    }
-                }
-                "--set-repr" => {
-                    set_repr = match args.next().as_deref() {
-                        Some("dense") => SetRepr::Dense,
-                        Some("adaptive") => SetRepr::Adaptive,
-                        other => usage(&format!("bad --set-repr {other:?}")),
-                    }
-                }
-                "--sched" => {
-                    sched = args
-                        .next()
-                        .as_deref()
-                        .and_then(SchedBackend::parse)
-                        .unwrap_or_else(|| usage("bad --sched (lev|mutex)"));
-                }
-                "--kernels" => {
-                    kernels = match args.next().as_deref() {
-                        Some("scalar") => KernelKind::Scalar,
-                        Some("auto") => KernelKind::Auto,
-                        other => usage(&format!("bad --kernels {other:?} (scalar|auto)")),
-                    }
-                }
                 "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown flag {other:?}")),
+                other => match backend.parse_backend_flag(other, &mut args) {
+                    Ok(true) => {}
+                    Ok(false) => usage(&format!("unknown flag {other:?}")),
+                    Err(e) => usage(&e),
+                },
             }
         }
         if benches.is_empty() {
             benches = BENCH_NAMES.iter().map(|s| s.to_string()).collect();
         }
+        let b = backend.build();
         Self {
             scale,
             workers,
@@ -164,23 +142,25 @@ impl HarnessArgs {
             reps,
             json,
             json_label,
-            shadow,
-            set_repr,
-            sched,
-            kernels,
+            shadow: b.shadow,
+            set_repr: b.set_repr,
+            sched: b.sched,
+            kernels: b.kernels,
+            om_backend: b.om_backend,
         }
     }
 
     /// A detector configuration honoring the harness's backend and
     /// set-representation selections.
     pub fn cfg(&self, kind: DetectorKind, mode: Mode, workers: usize) -> DriveConfig {
-        DriveConfig {
-            shadow: self.shadow,
-            set_repr: self.set_repr,
-            sched: self.sched,
-            kernels: self.kernels,
-            ..DriveConfig::with(kind, mode, workers)
-        }
+        DriveConfig::with(kind, mode, workers)
+            .to_builder()
+            .shadow(self.shadow)
+            .set_repr(self.set_repr)
+            .sched(self.sched)
+            .kernels(self.kernels)
+            .om_backend(self.om_backend)
+            .build()
     }
 }
 
@@ -190,10 +170,9 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale small|medium|paper] [--workers N] [--reps N] \
-         [--bench mm|sort|sw|hw|ferret]... [--shadow sharded|paged] \
-         [--set-repr dense|adaptive] [--sched lev|mutex] \
-         [--kernels scalar|auto] [--json] [--json-out PATH] \
-         [--json-label NAME]"
+         [--bench mm|sort|sw|hw|ferret]... {} [--json] [--json-out PATH] \
+         [--json-label NAME]",
+        DriveConfigBuilder::backend_flag_usage()
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -325,6 +304,13 @@ pub fn report_json(rep: &RaceReport) -> Json {
         .field("kernel_scalar_calls", rep.metrics.kernel_scalar_calls)
         .field("arena_slabs", rep.metrics.arena_slabs)
         .field("prefetch_issued", rep.metrics.prefetch_issued)
+        .field("srv_sessions_open", rep.metrics.srv_sessions_open)
+        .field("srv_frames_in", rep.metrics.srv_frames_in)
+        .field("srv_bytes_in", rep.metrics.srv_bytes_in)
+        .field(
+            "srv_backpressure_stalls",
+            rep.metrics.srv_backpressure_stalls,
+        )
 }
 
 /// One timed cell as a trajectory-row JSON object (shape shared by

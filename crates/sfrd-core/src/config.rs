@@ -1,0 +1,396 @@
+//! The construction surface: one engine-configuration struct and one
+//! fluent [`DriveConfig`] builder.
+//!
+//! Five PRs of backend growth each added one positional parameter to the
+//! detector constructors (`with_backend` → `with_config(repr)` →
+//! `with_config(repr, kernels)` → ...), and every binary re-plumbed the
+//! same `--shadow/--set-repr/--sched/--kernels` flags by hand. This module
+//! replaces both patterns:
+//!
+//! * [`EngineConfig`] — everything a detector constructor needs, as one
+//!   `#[non_exhaustive]` struct with fluent setters. Adding a backend knob
+//!   is now a new field with a default, not a new constructor arity.
+//!   Detectors take it via `from_config(&EngineConfig)`; the old
+//!   positional constructors remain as `#[deprecated]` shims.
+//! * [`DriveConfigBuilder`] — the fluent builder behind
+//!   [`DriveConfig::builder`], plus [`parse_backend_flag`]
+//!   (`DriveConfigBuilder::parse_backend_flag`) so the backend flags are
+//!   parsed in exactly one place and every binary (`fig4_times`,
+//!   `fig5_memory`, `k_scaling`, `trace_tool`, `sfrd-serve`) accepts the
+//!   same spellings.
+//!
+//! Both carry the [`OmBackend`] slot reserved for the DePa packed-label
+//! order-maintenance backend (ROADMAP item 2): today it has one variant,
+//! so selecting it is a no-op, but the configuration surface will not
+//! change again when the second backend lands.
+
+use sfrd_om::OmBackend;
+use sfrd_reach::{KernelKind, SetRepr};
+use sfrd_runtime::SchedBackend;
+use sfrd_shadow::{ReaderPolicy, ShadowBackend};
+
+use crate::detectors::Mode;
+use crate::driver::{DetectorKind, DriveConfig};
+
+/// Everything a detector constructor needs, in one place.
+///
+/// `#[non_exhaustive]`: construct via [`EngineConfig::new`] /
+/// [`Default`] / `From<&DriveConfig>` and adjust with the fluent setters;
+/// new backend knobs become new defaulted fields without breaking callers.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// `reach` or `full`.
+    pub mode: Mode,
+    /// Reader-retention policy of the access history (SF-Order and
+    /// WSP-Order honor it; F-Order and MultiBags are always `All`).
+    pub policy: ReaderPolicy,
+    /// Shadow-memory store backing the access history.
+    pub shadow: ShadowBackend,
+    /// `cp`/`gp` set-representation family (SF-Order and MultiBags).
+    pub set_repr: SetRepr,
+    /// 512-bit chunk-kernel dispatch policy.
+    pub kernels: KernelKind,
+    /// Order-maintenance backend (reserved: one variant today).
+    pub om_backend: OmBackend,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Full,
+            policy: ReaderPolicy::All,
+            shadow: ShadowBackend::default(),
+            set_repr: SetRepr::default(),
+            kernels: KernelKind::default(),
+            om_backend: OmBackend::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Defaults in the given mode.
+    pub fn new(mode: Mode) -> Self {
+        Self {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// This configuration with the mode replaced (the `reach`/`full` axis
+    /// of a Fig. 4 grid shares everything else).
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the reader-retention policy.
+    pub fn policy(mut self, policy: ReaderPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the shadow-memory backend.
+    pub fn shadow(mut self, shadow: ShadowBackend) -> Self {
+        self.shadow = shadow;
+        self
+    }
+
+    /// Set the `cp`/`gp` set-representation family.
+    pub fn set_repr(mut self, set_repr: SetRepr) -> Self {
+        self.set_repr = set_repr;
+        self
+    }
+
+    /// Set the chunk-kernel dispatch policy.
+    pub fn kernels(mut self, kernels: KernelKind) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
+    /// Set the order-maintenance backend.
+    pub fn om_backend(mut self, om_backend: OmBackend) -> Self {
+        self.om_backend = om_backend;
+        self
+    }
+}
+
+impl From<&DriveConfig> for EngineConfig {
+    fn from(cfg: &DriveConfig) -> Self {
+        Self {
+            mode: cfg.mode,
+            policy: cfg.policy,
+            shadow: cfg.shadow,
+            set_repr: cfg.set_repr,
+            kernels: cfg.kernels,
+            om_backend: cfg.om_backend,
+        }
+    }
+}
+
+/// Fluent builder for [`DriveConfig`] — the only way to assemble a
+/// non-default configuration outside this module now that the target is
+/// `#[non_exhaustive]`.
+///
+/// Obtained from [`DriveConfig::builder`] (defaults), or
+/// [`DriveConfig::to_builder`] (adjust an existing configuration).
+#[derive(Debug, Clone)]
+pub struct DriveConfigBuilder {
+    cfg: DriveConfig,
+}
+
+impl Default for DriveConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DriveConfigBuilder {
+    /// Start from the defaults: no detector, full mode, one worker.
+    pub fn new() -> Self {
+        Self {
+            cfg: DriveConfig::base(1),
+        }
+    }
+
+    /// Start from an existing configuration.
+    pub(crate) fn from_cfg(cfg: DriveConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Select the detector. Choosing MultiBags switches onto the
+    /// sequential runtime (its SP-bags invariant requires the serial
+    /// depth-first execution); call [`sequential`](Self::sequential)
+    /// afterwards to override.
+    pub fn detector(mut self, detector: DetectorKind) -> Self {
+        self.cfg.detector = detector;
+        if matches!(detector, DetectorKind::MultiBags) {
+            self.cfg.sequential = true;
+        }
+        self
+    }
+
+    /// `reach` or `full`.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Worker count for parallel execution.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Serial left-to-right depth-first execution.
+    pub fn sequential(mut self, sequential: bool) -> Self {
+        self.cfg.sequential = sequential;
+        self
+    }
+
+    /// Reader-retention policy of the access history.
+    pub fn policy(mut self, policy: ReaderPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Route accesses through the batched strand-event pipeline.
+    pub fn batched(mut self, batched: bool) -> Self {
+        self.cfg.batched = batched;
+        self
+    }
+
+    /// Shadow-memory backend.
+    pub fn shadow(mut self, shadow: ShadowBackend) -> Self {
+        self.cfg.shadow = shadow;
+        self
+    }
+
+    /// `cp`/`gp` set-representation family.
+    pub fn set_repr(mut self, set_repr: SetRepr) -> Self {
+        self.cfg.set_repr = set_repr;
+        self
+    }
+
+    /// Work-stealing queue backend.
+    pub fn sched(mut self, sched: SchedBackend) -> Self {
+        self.cfg.sched = sched;
+        self
+    }
+
+    /// Chunk-kernel dispatch policy.
+    pub fn kernels(mut self, kernels: KernelKind) -> Self {
+        self.cfg.kernels = kernels;
+        self
+    }
+
+    /// Order-maintenance backend.
+    pub fn om_backend(mut self, om_backend: OmBackend) -> Self {
+        self.cfg.om_backend = om_backend;
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> DriveConfig {
+        self.cfg
+    }
+
+    /// The shared backend-flag parser: every binary routes unmatched flags
+    /// here so `--shadow/--set-repr/--sched/--kernels/--om-backend` are
+    /// spelled and validated in exactly one place.
+    ///
+    /// Returns `Ok(true)` when `flag` was recognized (its value consumed
+    /// from `args`), `Ok(false)` when it is not a backend flag (nothing
+    /// consumed), and `Err` with a usage message on a missing or bad value.
+    pub fn parse_backend_flag(
+        &mut self,
+        flag: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        fn value(flag: &str, args: &mut impl Iterator<Item = String>) -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        }
+        match flag {
+            "--shadow" => {
+                self.cfg.shadow = match value(flag, args)?.as_str() {
+                    "sharded" => ShadowBackend::Sharded,
+                    "paged" => ShadowBackend::Paged,
+                    other => return Err(format!("bad --shadow {other:?} (sharded|paged)")),
+                };
+            }
+            "--set-repr" => {
+                self.cfg.set_repr = match value(flag, args)?.as_str() {
+                    "dense" => SetRepr::Dense,
+                    "adaptive" => SetRepr::Adaptive,
+                    other => return Err(format!("bad --set-repr {other:?} (dense|adaptive)")),
+                };
+            }
+            "--sched" => {
+                let v = value(flag, args)?;
+                self.cfg.sched = SchedBackend::parse(&v)
+                    .ok_or_else(|| format!("bad --sched {v:?} (lev|mutex)"))?;
+            }
+            "--kernels" => {
+                self.cfg.kernels = match value(flag, args)?.as_str() {
+                    "scalar" => KernelKind::Scalar,
+                    "auto" => KernelKind::Auto,
+                    other => return Err(format!("bad --kernels {other:?} (scalar|auto)")),
+                };
+            }
+            "--om-backend" => {
+                let v = value(flag, args)?;
+                self.cfg.om_backend = OmBackend::parse(&v)
+                    .ok_or_else(|| format!("bad --om-backend {v:?} (om-list)"))?;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Usage fragment documenting the flags [`parse_backend_flag`]
+    /// (`Self::parse_backend_flag`) accepts, for the binaries' `--help`.
+    pub fn backend_flag_usage() -> &'static str {
+        "[--shadow sharded|paged] [--set-repr dense|adaptive] \
+         [--sched lev|mutex] [--kernels scalar|auto] [--om-backend om-list]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_config_from_drive_config() {
+        let cfg = DriveConfig::builder()
+            .detector(DetectorKind::SfOrder)
+            .mode(Mode::Reach)
+            .policy(ReaderPolicy::PerFutureLR)
+            .shadow(ShadowBackend::Sharded)
+            .set_repr(SetRepr::Dense)
+            .kernels(KernelKind::Scalar)
+            .build();
+        let ec = EngineConfig::from(&cfg);
+        assert_eq!(ec.mode, Mode::Reach);
+        assert_eq!(ec.policy, ReaderPolicy::PerFutureLR);
+        assert_eq!(ec.shadow, ShadowBackend::Sharded);
+        assert_eq!(ec.set_repr, SetRepr::Dense);
+        assert_eq!(ec.kernels, KernelKind::Scalar);
+        assert_eq!(ec.om_backend, OmBackend::OmList);
+        assert_eq!(ec.with_mode(Mode::Full).mode, Mode::Full);
+    }
+
+    #[test]
+    fn builder_defaults_match_base() {
+        let b = DriveConfig::builder().workers(4).build();
+        let base = DriveConfig::base(4);
+        assert_eq!(b.detector, base.detector);
+        assert_eq!(b.mode, base.mode);
+        assert_eq!(b.workers, base.workers);
+        assert_eq!(b.sequential, base.sequential);
+        assert_eq!(b.policy, base.policy);
+        assert_eq!(b.batched, base.batched);
+        assert_eq!(b.shadow, base.shadow);
+        assert_eq!(b.set_repr, base.set_repr);
+        assert_eq!(b.sched, base.sched);
+        assert_eq!(b.kernels, base.kernels);
+        assert_eq!(b.om_backend, base.om_backend);
+    }
+
+    #[test]
+    fn builder_forces_multibags_sequential() {
+        let cfg = DriveConfig::builder()
+            .detector(DetectorKind::MultiBags)
+            .workers(4)
+            .build();
+        assert!(cfg.sequential);
+        // ... and the override stays available for the rejection test.
+        let cfg = DriveConfig::builder()
+            .detector(DetectorKind::MultiBags)
+            .sequential(false)
+            .build();
+        assert!(!cfg.sequential);
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let cfg = DriveConfig::with(DetectorKind::FOrder, Mode::Full, 3);
+        let again = cfg.to_builder().build();
+        assert_eq!(cfg.detector, again.detector);
+        assert_eq!(cfg.workers, again.workers);
+    }
+
+    #[test]
+    fn shared_flag_parser_consumes_backend_flags() {
+        let mut b = DriveConfig::builder();
+        let mut args = ["sharded", "dense", "mutex", "scalar", "om-list"]
+            .iter()
+            .map(|s| s.to_string());
+        for flag in [
+            "--shadow",
+            "--set-repr",
+            "--sched",
+            "--kernels",
+            "--om-backend",
+        ] {
+            assert_eq!(b.parse_backend_flag(flag, &mut args), Ok(true));
+        }
+        assert_eq!(args.next(), None, "all values consumed");
+        let cfg = b.build();
+        assert_eq!(cfg.shadow, ShadowBackend::Sharded);
+        assert_eq!(cfg.set_repr, SetRepr::Dense);
+        assert_eq!(cfg.sched, SchedBackend::MutexDeque);
+        assert_eq!(cfg.kernels, KernelKind::Scalar);
+        assert_eq!(cfg.om_backend, OmBackend::OmList);
+    }
+
+    #[test]
+    fn shared_flag_parser_rejects_bad_values_without_panicking() {
+        let mut b = DriveConfig::builder();
+        let mut args = ["bogus"].iter().map(|s| s.to_string());
+        assert!(b.parse_backend_flag("--shadow", &mut args).is_err());
+        let mut empty = std::iter::empty::<String>();
+        assert!(b.parse_backend_flag("--kernels", &mut empty).is_err());
+        assert_eq!(b.parse_backend_flag("--workers", &mut empty), Ok(false));
+    }
+}

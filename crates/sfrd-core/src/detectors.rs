@@ -28,6 +28,7 @@ use sfrd_reach::{
 };
 use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
+use crate::config::EngineConfig;
 use crate::events::{EventSink, ReachEngine};
 
 /// Detector configuration of Fig. 4.
@@ -153,26 +154,39 @@ impl ReachEngine for SfEngine {
 pub type SfDetector = EventSink<SfEngine>;
 
 impl SfDetector {
-    /// Build a one-shot detector. `policy` selects the §3.5 bounded reader
-    /// set or the ship-it-all variant the paper's implementation uses.
-    pub fn new(mode: Mode, policy: ReaderPolicy) -> Self {
-        Self::with_backend(mode, policy, ShadowBackend::default())
-    }
-
-    /// [`new`](Self::new) with an explicit shadow-memory backend.
-    pub fn with_backend(mode: Mode, policy: ReaderPolicy, backend: ShadowBackend) -> Self {
-        Self::with_config(
-            mode,
-            policy,
-            backend,
-            SetRepr::default(),
-            KernelKind::default(),
+    /// Build a one-shot detector from an [`EngineConfig`]. SF-Order honors
+    /// every field: `policy` selects the §3.5 bounded reader set or the
+    /// ship-it-all variant the paper's implementation uses.
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        EventSink::build(
+            SfEngine::new(cfg.set_repr, cfg.kernels),
+            cfg.mode,
+            cfg.policy,
+            cfg.shadow,
         )
     }
 
-    /// Fully explicit constructor: shadow backend plus the `cp`/`gp`
-    /// set-representation family (`set_repr` ablation / differential runs)
-    /// and the 512-bit chunk-kernel dispatch policy.
+    /// Build a one-shot detector with default backends.
+    pub fn new(mode: Mode, policy: ReaderPolicy) -> Self {
+        Self::from_config(&EngineConfig::new(mode).policy(policy))
+    }
+
+    /// [`new`](Self::new) with an explicit shadow-memory backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SfDetector::from_config(&EngineConfig)` — positional backend \
+                parameters no longer grow"
+    )]
+    pub fn with_backend(mode: Mode, policy: ReaderPolicy, backend: ShadowBackend) -> Self {
+        Self::from_config(&EngineConfig::new(mode).policy(policy).shadow(backend))
+    }
+
+    /// Fully explicit positional constructor.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SfDetector::from_config(&EngineConfig)` — positional backend \
+                parameters no longer grow"
+    )]
     pub fn with_config(
         mode: Mode,
         policy: ReaderPolicy,
@@ -180,7 +194,13 @@ impl SfDetector {
         set_repr: SetRepr,
         kernels: KernelKind,
     ) -> Self {
-        EventSink::build(SfEngine::new(set_repr, kernels), mode, policy, backend)
+        Self::from_config(
+            &EngineConfig::new(mode)
+                .policy(policy)
+                .shadow(backend)
+                .set_repr(set_repr)
+                .kernels(kernels),
+        )
     }
 
     /// Reachability engine (diagnostics).
@@ -253,15 +273,26 @@ impl ReachEngine for FoEngine {
 pub type FoDetector = EventSink<FoEngine>;
 
 impl FoDetector {
-    /// Build a one-shot detector. F-Order cannot bound readers, so the
-    /// policy is always [`ReaderPolicy::All`].
+    /// Build a one-shot detector from an [`EngineConfig`]. F-Order cannot
+    /// bound readers (the policy is always [`ReaderPolicy::All`]) and has
+    /// no future sets on its hot path, so only `mode` and `shadow` apply.
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        EventSink::build(FoEngine::new(), cfg.mode, ReaderPolicy::All, cfg.shadow)
+    }
+
+    /// Build a one-shot detector with default backends.
     pub fn new(mode: Mode) -> Self {
-        Self::with_backend(mode, ShadowBackend::default())
+        Self::from_config(&EngineConfig::new(mode))
     }
 
     /// [`new`](Self::new) with an explicit shadow-memory backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FoDetector::from_config(&EngineConfig)` — positional backend \
+                parameters no longer grow"
+    )]
     pub fn with_backend(mode: Mode, backend: ShadowBackend) -> Self {
-        EventSink::build(FoEngine::new(), mode, ReaderPolicy::All, backend)
+        Self::from_config(&EngineConfig::new(mode).shadow(backend))
     }
 
     /// Reachability engine (diagnostics).
@@ -335,29 +366,50 @@ impl ReachEngine for MbEngine {
 pub type MbDetector = EventSink<MbEngine>;
 
 impl MbDetector {
-    /// Build a one-shot detector.
+    /// Build a one-shot detector from an [`EngineConfig`]. MultiBags keeps
+    /// all readers (the policy field is ignored) but honors the shadow
+    /// backend, the set representation, and the kernel dispatch policy.
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        EventSink::build(
+            MbEngine::new(cfg.set_repr, cfg.kernels),
+            cfg.mode,
+            ReaderPolicy::All,
+            cfg.shadow,
+        )
+    }
+
+    /// Build a one-shot detector with default backends.
     pub fn new(mode: Mode) -> Self {
-        Self::with_backend(mode, ShadowBackend::default())
+        Self::from_config(&EngineConfig::new(mode))
     }
 
     /// [`new`](Self::new) with an explicit shadow-memory backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `MbDetector::from_config(&EngineConfig)` — positional backend \
+                parameters no longer grow"
+    )]
     pub fn with_backend(mode: Mode, backend: ShadowBackend) -> Self {
-        Self::with_config(mode, backend, SetRepr::default(), KernelKind::default())
+        Self::from_config(&EngineConfig::new(mode).shadow(backend))
     }
 
-    /// Fully explicit constructor: shadow backend plus the `cp`/`gp`
-    /// set-representation family and the chunk-kernel dispatch policy.
+    /// Fully explicit positional constructor.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `MbDetector::from_config(&EngineConfig)` — positional backend \
+                parameters no longer grow"
+    )]
     pub fn with_config(
         mode: Mode,
         backend: ShadowBackend,
         set_repr: SetRepr,
         kernels: KernelKind,
     ) -> Self {
-        EventSink::build(
-            MbEngine::new(set_repr, kernels),
-            mode,
-            ReaderPolicy::All,
-            backend,
+        Self::from_config(
+            &EngineConfig::new(mode)
+                .shadow(backend)
+                .set_repr(set_repr)
+                .kernels(kernels),
         )
     }
 }

@@ -4,10 +4,12 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sfrd_om::OmBackend;
 use sfrd_reach::{KernelKind, SetRepr};
 use sfrd_runtime::{run_sequential, Cx, NullHooks, PoolStats, Runtime, SchedBackend};
 use sfrd_shadow::{ReaderPolicy, ShadowBackend};
 
+use crate::config::{DriveConfigBuilder, EngineConfig};
 use crate::detectors::{FoDetector, MbDetector, Mode, SfDetector};
 use crate::report::RaceReport;
 use crate::wsp::WspDetector;
@@ -37,6 +39,12 @@ pub enum DetectorKind {
 }
 
 /// A full execution configuration.
+///
+/// `#[non_exhaustive]`: assemble via [`DriveConfig::base`],
+/// [`DriveConfig::with`], or the fluent [`DriveConfig::builder`] — new
+/// backend knobs become new defaulted fields without breaking callers
+/// (struct literals and update syntax are reserved to this crate).
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy)]
 pub struct DriveConfig {
     /// Detector choice.
@@ -75,6 +83,10 @@ pub struct DriveConfig {
     /// ablation baseline). Only the SF-Order and MultiBags engines use
     /// chunked future sets, so F-Order and WSP-Order ignore this.
     pub kernels: KernelKind,
+    /// Which order-maintenance backend the reachability engines keep their
+    /// English/Hebrew total orders in. Reserved slot (one variant today)
+    /// for the DePa packed-label backend of ROADMAP item 2.
+    pub om_backend: OmBackend,
 }
 
 impl DriveConfig {
@@ -91,6 +103,7 @@ impl DriveConfig {
             set_repr: SetRepr::default(),
             sched: SchedBackend::default(),
             kernels: KernelKind::default(),
+            om_backend: OmBackend::default(),
         }
     }
 
@@ -108,7 +121,19 @@ impl DriveConfig {
             set_repr: SetRepr::default(),
             sched: SchedBackend::default(),
             kernels: KernelKind::default(),
+            om_backend: OmBackend::default(),
         }
+    }
+
+    /// A fluent builder starting from the defaults (no detector, full
+    /// mode, one worker).
+    pub fn builder() -> DriveConfigBuilder {
+        DriveConfigBuilder::new()
+    }
+
+    /// A fluent builder starting from this configuration.
+    pub fn to_builder(self) -> DriveConfigBuilder {
+        DriveConfigBuilder::from_cfg(self)
     }
 }
 
@@ -203,23 +228,18 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
         }};
     }
 
+    let ec = EngineConfig::from(&cfg);
     match cfg.detector {
         DetectorKind::None => {
             let (wall, _) = timed(w, Arc::new(NullHooks), &cfg);
             Outcome { wall, report: None }
         }
         DetectorKind::SfOrder => {
-            detector_arm!(|m| SfDetector::with_config(
-                m,
-                cfg.policy,
-                cfg.shadow,
-                cfg.set_repr,
-                cfg.kernels
-            ))
+            detector_arm!(|m| SfDetector::from_config(&ec.with_mode(m)))
         }
-        DetectorKind::FOrder => detector_arm!(|m| FoDetector::with_backend(m, cfg.shadow)),
+        DetectorKind::FOrder => detector_arm!(|m| FoDetector::from_config(&ec.with_mode(m))),
         DetectorKind::WspOrder => {
-            detector_arm!(|m| WspDetector::with_backend(m, cfg.policy, cfg.shadow))
+            detector_arm!(|m| WspDetector::from_config(&ec.with_mode(m)))
         }
         DetectorKind::MultiBags => {
             assert!(
@@ -227,7 +247,7 @@ pub fn drive<W: Workload>(w: &W, cfg: DriveConfig) -> Outcome {
                 "MultiBags requires the sequential runtime (its SP-bags invariant \
                  only holds for the serial depth-first execution)"
             );
-            detector_arm!(|m| MbDetector::with_config(m, cfg.shadow, cfg.set_repr, cfg.kernels))
+            detector_arm!(|m| MbDetector::from_config(&ec.with_mode(m)))
         }
     }
 }
@@ -279,23 +299,19 @@ mod tests {
     }
 
     fn all_full_configs() -> Vec<DriveConfig> {
+        let sf2 = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2);
         vec![
             DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 1),
-            DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2),
-            DriveConfig {
-                policy: sfrd_shadow::ReaderPolicy::PerFutureLR,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
-            },
-            DriveConfig {
-                shadow: ShadowBackend::Sharded,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
-            },
-            DriveConfig {
-                shadow: ShadowBackend::Sharded,
-                policy: sfrd_shadow::ReaderPolicy::PerFutureLR,
-                batched: false,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
-            },
+            sf2,
+            sf2.to_builder()
+                .policy(sfrd_shadow::ReaderPolicy::PerFutureLR)
+                .build(),
+            sf2.to_builder().shadow(ShadowBackend::Sharded).build(),
+            sf2.to_builder()
+                .shadow(ShadowBackend::Sharded)
+                .policy(sfrd_shadow::ReaderPolicy::PerFutureLR)
+                .batched(false)
+                .build(),
             DriveConfig::with(DetectorKind::FOrder, Mode::Full, 1),
             DriveConfig::with(DetectorKind::FOrder, Mode::Full, 2),
             DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1),
@@ -356,10 +372,10 @@ mod tests {
         let w = Racy {
             data: ShadowArray::new(1),
         };
-        let cfg = DriveConfig {
-            sequential: false,
-            ..DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 2)
-        };
+        let cfg = DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 2)
+            .to_builder()
+            .sequential(false)
+            .build();
         drive(&w, cfg);
     }
 }

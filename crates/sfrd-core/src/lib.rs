@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod detectors;
 pub mod driver;
 pub mod events;
@@ -50,6 +51,7 @@ pub mod report;
 pub mod shared;
 pub mod wsp;
 
+pub use config::{DriveConfigBuilder, EngineConfig};
 pub use detectors::{
     FoDetector, FoEngine, MbDetector, MbEngine, Mode, ReachOnly, SfDetector, SfEngine,
 };
@@ -63,6 +65,7 @@ pub use shared::{ShadowArray, ShadowCell, ShadowMatrix};
 pub use wsp::{WspDetector, WspEngine, WspStrand};
 
 // Re-exports so downstream users need only this crate.
+pub use sfrd_om::OmBackend;
 pub use sfrd_reach::{KernelKind, SetRepr, SetStatsSnapshot};
 pub use sfrd_runtime::{BatchStats, Batched, Cx, FutureHandle, NullHooks, Runtime, TaskHooks};
 pub use sfrd_shadow::{ReaderPolicy, ShadowBackend};

@@ -211,6 +211,16 @@ pub struct MetricsSnapshot {
     pub arena_slabs: u64,
     /// Software prefetches issued by paged-shadow batch replays.
     pub prefetch_issued: u64,
+    /// Detection server: sessions open when this report was cut (filled
+    /// by `sfrd-serve`; 0 for local runs).
+    pub srv_sessions_open: u64,
+    /// Detection server: journal frames ingested for this session.
+    pub srv_frames_in: u64,
+    /// Detection server: journal bytes ingested for this session.
+    pub srv_bytes_in: u64,
+    /// Detection server: times this session's connection reader blocked
+    /// on its full ingestion queue (the backpressure signal).
+    pub srv_backpressure_stalls: u64,
 }
 
 impl MetricsSnapshot {

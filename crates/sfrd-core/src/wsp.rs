@@ -17,6 +17,7 @@
 use sfrd_reach::{SpOrder, SpPos, SpTask};
 use sfrd_shadow::ReaderPolicy;
 
+use crate::config::EngineConfig;
 use crate::detectors::Mode;
 use crate::events::{EventSink, ReachEngine};
 
@@ -89,20 +90,32 @@ impl ReachEngine for WspEngine {
 pub type WspDetector = EventSink<WspEngine>;
 
 impl WspDetector {
-    /// Build a one-shot detector. The classic WSP-Order access history is
-    /// the leftmost/rightmost pair — [`ReaderPolicy::PerFutureLR`] with a
-    /// single "future" (the whole SP-dag) degenerates to exactly that.
+    /// Build a one-shot detector from an [`EngineConfig`]. WSP-Order has
+    /// no future sets, so only `mode`, `policy` and `shadow` apply.
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        EventSink::build(WspEngine::new(), cfg.mode, cfg.policy, cfg.shadow)
+    }
+
+    /// Build a one-shot detector with default backends. The classic
+    /// WSP-Order access history is the leftmost/rightmost pair —
+    /// [`ReaderPolicy::PerFutureLR`] with a single "future" (the whole
+    /// SP-dag) degenerates to exactly that.
     pub fn new(mode: Mode, policy: ReaderPolicy) -> Self {
-        Self::with_backend(mode, policy, sfrd_shadow::ShadowBackend::default())
+        Self::from_config(&EngineConfig::new(mode).policy(policy))
     }
 
     /// [`new`](Self::new) with an explicit shadow-memory backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `WspDetector::from_config(&EngineConfig)` — positional backend \
+                parameters no longer grow"
+    )]
     pub fn with_backend(
         mode: Mode,
         policy: ReaderPolicy,
         backend: sfrd_shadow::ShadowBackend,
     ) -> Self {
-        EventSink::build(WspEngine::new(), mode, policy, backend)
+        Self::from_config(&EngineConfig::new(mode).policy(policy).shadow(backend))
     }
 }
 

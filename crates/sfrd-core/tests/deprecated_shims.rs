@@ -1,0 +1,82 @@
+//! The `#[deprecated]` positional constructors must keep compiling and
+//! must mean exactly `from_config` of the equivalent [`EngineConfig`] —
+//! out-of-tree callers migrate on their own schedule, not ours.
+#![allow(deprecated)]
+
+use sfrd_core::{
+    EngineConfig, FoDetector, KernelKind, MbDetector, Mode, ReaderPolicy, SetRepr, SfDetector,
+    WspDetector,
+};
+use sfrd_shadow::ShadowBackend;
+
+/// Fresh detectors carry no events; equality of the verdict fields is the
+/// compile-and-semantics check the shims owe.
+fn key(r: &sfrd_core::RaceReport) -> (u64, std::collections::BTreeSet<u64>) {
+    (r.total_races, r.racy_addrs.clone())
+}
+
+#[test]
+fn sf_order_shims_equal_from_config() {
+    let a = SfDetector::with_backend(Mode::Full, ReaderPolicy::All, ShadowBackend::Sharded);
+    let b = SfDetector::from_config(
+        &EngineConfig::new(Mode::Full)
+            .policy(ReaderPolicy::All)
+            .shadow(ShadowBackend::Sharded),
+    );
+    assert_eq!(key(&a.report()), key(&b.report()));
+
+    let a = SfDetector::with_config(
+        Mode::Reach,
+        ReaderPolicy::PerFutureLR,
+        ShadowBackend::Paged,
+        SetRepr::Dense,
+        KernelKind::Scalar,
+    );
+    let b = SfDetector::from_config(
+        &EngineConfig::new(Mode::Reach)
+            .policy(ReaderPolicy::PerFutureLR)
+            .shadow(ShadowBackend::Paged)
+            .set_repr(SetRepr::Dense)
+            .kernels(KernelKind::Scalar),
+    );
+    assert_eq!(key(&a.report()), key(&b.report()));
+}
+
+#[test]
+fn f_order_shims_equal_from_config() {
+    let a = FoDetector::with_backend(Mode::Full, ShadowBackend::Sharded);
+    let b = FoDetector::from_config(&EngineConfig::new(Mode::Full).shadow(ShadowBackend::Sharded));
+    assert_eq!(key(&a.report()), key(&b.report()));
+}
+
+#[test]
+fn multibags_shims_equal_from_config() {
+    let a = MbDetector::with_backend(Mode::Full, ShadowBackend::Paged);
+    let b = MbDetector::from_config(&EngineConfig::new(Mode::Full).shadow(ShadowBackend::Paged));
+    assert_eq!(key(&a.report()), key(&b.report()));
+
+    let a = MbDetector::with_config(
+        Mode::Reach,
+        ShadowBackend::Sharded,
+        SetRepr::Adaptive,
+        KernelKind::Auto,
+    );
+    let b = MbDetector::from_config(
+        &EngineConfig::new(Mode::Reach)
+            .shadow(ShadowBackend::Sharded)
+            .set_repr(SetRepr::Adaptive)
+            .kernels(KernelKind::Auto),
+    );
+    assert_eq!(key(&a.report()), key(&b.report()));
+}
+
+#[test]
+fn wsp_order_shim_equals_from_config() {
+    let a = WspDetector::with_backend(Mode::Full, ReaderPolicy::All, ShadowBackend::Sharded);
+    let b = WspDetector::from_config(
+        &EngineConfig::new(Mode::Full)
+            .policy(ReaderPolicy::All)
+            .shadow(ShadowBackend::Sharded),
+    );
+    assert_eq!(key(&a.report()), key(&b.report()));
+}

@@ -26,20 +26,34 @@ use crate::ids::{FutureId, NodeId};
 use crate::oracle::Access;
 use crate::recorder::RecordedProgram;
 
-/// Errors while reading a trace.
+/// Errors while reading a trace. Every malformed input maps to one of
+/// these — [`read_trace`] never panics, whatever the bytes.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum TraceError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Structural problem, with a line number and message.
+    /// The `sfrdtrace v1` header line is missing or wrong.
+    Header,
+    /// The `end` record is missing: the file was cut short.
+    Truncated,
+    /// Syntactic problem, with a line number and message.
     Parse(usize, String),
+    /// A record references a node or future that does not exist, with a
+    /// line number (0 = detected after the full read) and message.
+    Range(usize, String),
 }
 
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Header => write!(f, "trace parse error: missing 'sfrdtrace v1' header"),
+            TraceError::Truncated => write!(f, "truncated trace (no 'end' record)"),
             TraceError::Parse(line, msg) => write!(f, "trace parse error at line {line}: {msg}"),
+            TraceError::Range(line, msg) => {
+                write!(f, "trace reference out of range at line {line}: {msg}")
+            }
         }
     }
 }
@@ -165,7 +179,7 @@ pub fn read_trace(input: impl BufRead) -> Result<RecordedProgram, TraceError> {
                 saw_header = true;
                 continue;
             }
-            return Err(err("missing 'sfrdtrace v1' header"));
+            return Err(TraceError::Header);
         }
         let mut num = |what: &str| -> Result<u32, TraceError> {
             parts
@@ -212,13 +226,19 @@ pub fn read_trace(input: impl BufRead) -> Result<RecordedProgram, TraceError> {
                     .and_then(parse_edge)
                     .ok_or_else(|| err("bad edge kind"))?;
                 if from.index() >= dag.node_count() || to.index() >= dag.node_count() {
-                    return Err(err("edge endpoint out of range"));
+                    return Err(TraceError::Range(lineno, "edge endpoint".into()));
+                }
+                if from == to {
+                    return Err(err("self edge"));
                 }
                 dag.add_edge(from, to, kind);
             }
             "psp" => {
                 let f = FutureId(num("future")?);
                 let j = NodeId(num("join node")?);
+                if j.index() >= dag.node_count() {
+                    return Err(TraceError::Range(lineno, "psp join node".into()));
+                }
                 psp_joins.push((f, j));
             }
             "access" => {
@@ -233,7 +253,7 @@ pub fn read_trace(input: impl BufRead) -> Result<RecordedProgram, TraceError> {
                     _ => return Err(err("bad access kind")),
                 };
                 if node.index() >= dag.node_count() {
-                    return Err(err("access node out of range"));
+                    return Err(TraceError::Range(lineno, "access node".into()));
                 }
                 log.push(Access {
                     node,
@@ -254,10 +274,34 @@ pub fn read_trace(input: impl BufRead) -> Result<RecordedProgram, TraceError> {
         }
     }
     if !saw_end {
-        return Err(TraceError::Parse(
-            0,
-            "truncated trace (no 'end' record)".into(),
-        ));
+        return Err(TraceError::Truncated);
+    }
+    // Cross-record references resolve only now that everything is read:
+    // futures may reference nodes recorded after them and vice versa, so
+    // the range checks happen once, here (line 0 = post-read validation).
+    let range = |what: &str| TraceError::Range(0, what.to_string());
+    let future_count = futures.len();
+    for &(first, last, creator, parent) in &futures {
+        for (node, what) in [
+            (Some(first), "future first node"),
+            (last, "future last node"),
+            (creator, "future creator node"),
+        ] {
+            if node.is_some_and(|n| n.index() >= dag.node_count()) {
+                return Err(range(what));
+            }
+        }
+        if parent.is_some_and(|p| p.index() >= future_count) {
+            return Err(range("future parent"));
+        }
+    }
+    for n in dag.node_ids() {
+        if dag.node(n).future.index() >= future_count {
+            return Err(range("node future"));
+        }
+    }
+    if psp_joins.iter().any(|&(f, _)| f.index() >= future_count) {
+        return Err(range("psp future"));
     }
     for (first, last, creator, parent) in futures {
         let f = dag.add_future(first, creator, parent);

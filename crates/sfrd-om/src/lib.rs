@@ -51,3 +51,33 @@ mod list;
 
 pub use arena::AppendArena;
 pub use list::{OmHandle, OmList, OmStats};
+
+/// Which order-maintenance implementation backs the English/Hebrew total
+/// orders. Today only the two-level group-local [`OmList`] exists; the enum
+/// is the configuration slot reserved for the DePa packed-label backend
+/// (ROADMAP item 2), so adding it is a new variant rather than another
+/// positional constructor parameter.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OmBackend {
+    /// The two-level group-local list in this crate (the default).
+    #[default]
+    OmList,
+}
+
+impl OmBackend {
+    /// Short flag-style name.
+    pub fn label(self) -> &'static str {
+        match self {
+            OmBackend::OmList => "om-list",
+        }
+    }
+
+    /// Parse a flag value (`om-list`); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "om-list" | "list" => Some(OmBackend::OmList),
+            _ => None,
+        }
+    }
+}

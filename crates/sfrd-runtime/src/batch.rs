@@ -201,6 +201,23 @@ impl AccessBatch {
         }
     }
 
+    /// Re-inject recorded entries verbatim, bypassing the write-combining
+    /// filter — the journal-replay path. A recorded `Accesses` event holds
+    /// exactly the entries the *recording* run's filter admitted at one
+    /// dag position (plus the counts it combined away), so re-filtering
+    /// them here would double-drop; they are appended untouched and the
+    /// filtered counts restored for the sink's [`take_filtered`]
+    /// (`Self::take_filtered`) accounting. The strand's [`VerdictCache`]
+    /// is untouched and keeps working across re-injections, exactly as it
+    /// persists across cap flushes live.
+    pub fn reinject(&mut self, entries: &[BatchedAccess], (reads, writes): (u64, u64)) {
+        self.recorded += entries.len() as u64;
+        self.filtered += reads + writes;
+        self.pending_filtered.0 += reads;
+        self.pending_filtered.1 += writes;
+        self.entries.extend_from_slice(entries);
+    }
+
     /// Drop pending entries without processing (reach-only detectors).
     pub fn discard(&mut self) {
         self.pending_filtered = (0, 0);
@@ -286,6 +303,12 @@ impl<H> Batched<H> {
     /// The wrapped detector.
     pub fn inner(&self) -> &H {
         &self.inner
+    }
+
+    /// Unwrap the detector (after the run; pending per-strand buffers are
+    /// gone with their strands by then).
+    pub fn into_inner(self) -> H {
+        self.inner
     }
 
     /// Aggregate pipeline counters (strands fold in at task end).

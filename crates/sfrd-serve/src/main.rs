@@ -1,0 +1,72 @@
+//! Command-line front end for the detection server.
+
+use std::process::ExitCode;
+
+use sfrd_core::{DriveConfig, EngineConfig};
+use sfrd_serve::{Server, ServerConfig};
+
+fn usage() -> String {
+    format!(
+        "usage: sfrd-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] {}",
+        sfrd_core::DriveConfigBuilder::backend_flag_usage()
+    )
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7199");
+    let mut cfg = ServerConfig::default();
+    let mut backend = DriveConfig::builder();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let result = match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => args
+                .next()
+                .map(|v| addr = v)
+                .ok_or_else(|| "missing value for --addr".to_string()),
+            "--workers" => parse_num(&mut args, "--workers").map(|n| cfg.workers = n),
+            "--queue-cap" => parse_num(&mut args, "--queue-cap").map(|n| cfg.queue_cap = n),
+            flag => match backend.parse_backend_flag(flag, &mut args) {
+                Ok(true) => Ok(()),
+                Ok(false) => Err(format!("unknown flag {flag:?}")),
+                Err(e) => Err(e),
+            },
+        };
+        if let Err(e) = result {
+            eprintln!("sfrd-serve: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    cfg.engine = EngineConfig::from(&backend.build());
+
+    let server = match Server::bind(addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sfrd-serve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "sfrd-serve: listening on {} ({} workers, queue cap {})",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_cap
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse_num(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+    let v = args
+        .next()
+        .ok_or_else(|| format!("missing value for {flag}"))?;
+    v.parse()
+        .map_err(|_| format!("bad value for {flag}: {v:?}"))
+}

@@ -1,0 +1,156 @@
+//! The shared worker pool: in-crate Chase-Lev deques plus the MPMC
+//! injector, reused from the runtime's scheduler substrate — no new
+//! dependencies, same stealing discipline.
+//!
+//! Tasks are whole sessions, not frames: a worker claims a session (the
+//! session's `scheduled` flag guarantees a single drainer) and processes
+//! its queued frames to exhaustion. A session whose producer keeps it full
+//! re-enters through the worker's local deque, where siblings can steal it
+//! — so one chatty connection cannot monopolize the pool, and a slow
+//! consumer blocks only its own connection's reader, never a worker.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use sfrd_runtime::chase_lev::{Steal, Stealer, Worker};
+use sfrd_runtime::injector::Injector;
+
+use crate::session::Session;
+
+type Task = Arc<Session>;
+
+pub(crate) struct Pool {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    paused: AtomicBool,
+    shutdown: AtomicBool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Spawn `workers` pool threads. A paused pool accepts submissions
+    /// but drains nothing until [`resume`](Self::resume) — the
+    /// deterministic-backpressure test hook.
+    pub(crate) fn new(workers: usize, paused: bool) -> Arc<Self> {
+        let workers = workers.max(1);
+        let deques: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new()).collect();
+        let stealers = deques.iter().map(Worker::stealer).collect();
+        let pool = Arc::new(Self {
+            injector: Injector::new(),
+            stealers,
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            paused: AtomicBool::new(paused),
+            shutdown: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = pool.handles.lock();
+        for (i, deque) in deques.into_iter().enumerate() {
+            let pool = Arc::clone(&pool);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sfrd-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&pool, &deque, i))
+                    .expect("spawn pool worker"),
+            );
+        }
+        drop(handles);
+        pool
+    }
+
+    /// Hand a claimed session to the pool.
+    pub(crate) fn submit(&self, task: Task) {
+        self.injector.push(task);
+        let _g = self.sleep.lock();
+        self.wake.notify_one();
+    }
+
+    /// Un-pause a pool constructed paused.
+    pub(crate) fn resume(&self) {
+        self.paused.store(false, Ordering::Release);
+        let _g = self.sleep.lock();
+        self.wake.notify_all();
+    }
+
+    /// Stop and join every worker.
+    pub(crate) fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.sleep.lock();
+            self.wake.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn has_work(&self, me: usize) -> bool {
+        !self.injector.is_empty()
+            || self
+                .stealers
+                .iter()
+                .enumerate()
+                .any(|(i, s)| i != me && !s.is_empty())
+    }
+}
+
+fn worker_loop(pool: &Pool, local: &Worker<Task>, me: usize) {
+    loop {
+        if pool.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let task = if pool.paused.load(Ordering::Acquire) {
+            None
+        } else {
+            find_task(pool, local, me)
+        };
+        match task {
+            Some(session) => session.drain(local),
+            None => {
+                let mut g = pool.sleep.lock();
+                // Recheck under the lock: a submit between our miss and
+                // this wait would otherwise be a lost wakeup.
+                if pool.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let runnable = !pool.paused.load(Ordering::Acquire)
+                    && (!local.is_empty() || pool.has_work(me));
+                if !runnable {
+                    pool.wake.wait(&mut g);
+                }
+            }
+        }
+    }
+}
+
+fn find_task(pool: &Pool, local: &Worker<Task>, me: usize) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match pool.injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    for (i, stealer) in pool.stealers.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}

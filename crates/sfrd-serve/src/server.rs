@@ -1,0 +1,239 @@
+//! The blocking-socket front end: accept loop, handshake, framed
+//! ingestion, response.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use sfrd_core::EngineConfig;
+use sfrd_trace::{is_end_frame, read_frame, read_header};
+
+use crate::metrics::{MetricsView, ServerMetrics};
+use crate::pool::Pool;
+use crate::session::{Session, SessionDetector};
+
+/// Server knobs. `#[non_exhaustive]`: construct via `Default` and adjust
+/// fields, like every other config in this workspace.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Pool worker threads shared by all sessions.
+    pub workers: usize,
+    /// Per-session ingestion queue depth, in frames. When a session's
+    /// queue is full its connection reader blocks (stalling only that
+    /// client) until a worker drains — bounded memory per session, and
+    /// backpressure that never touches the pool.
+    pub queue_cap: usize,
+    /// Backend knobs for every per-session detector.
+    pub engine: EngineConfig,
+    /// Start with the worker pool paused (test hook: lets a test fill a
+    /// session queue deterministically, observe the stall counter, then
+    /// [`Server::resume`]).
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_cap: 64,
+            engine: EngineConfig::default(),
+            start_paused: false,
+        }
+    }
+}
+
+/// A running detection server. One framed TCP connection = one session =
+/// one private detector; the worker pool is shared.
+pub struct Server {
+    addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
+    pool: Arc<Pool>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving in background threads.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::default());
+        let pool = Pool::new(cfg.workers, cfg.start_paused);
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let metrics = Arc::clone(&metrics);
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sfrd-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let metrics = Arc::clone(&metrics);
+                        let pool = Arc::clone(&pool);
+                        let _ = std::thread::Builder::new()
+                            .name("sfrd-serve-conn".into())
+                            .spawn(move || handle_conn(stream, &cfg, &pool, &metrics));
+                    }
+                })?
+        };
+        Ok(Self {
+            addr,
+            metrics,
+            pool,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the server-wide counters.
+    pub fn metrics(&self) -> MetricsView {
+        self.metrics.view()
+    }
+
+    /// Un-pause a server started with
+    /// [`start_paused`](ServerConfig::start_paused).
+    pub fn resume(&self) {
+        self.pool.resume();
+    }
+
+    /// Stop accepting, join the accept thread, and shut the pool down.
+    /// In-flight connection threads finish on their own.
+    pub fn shutdown(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.pool.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}
+
+/// Decrement `sessions_open` on every exit path.
+struct OpenGuard<'m>(&'m ServerMetrics);
+
+impl Drop for OpenGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sessions_open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_conn(stream: TcpStream, cfg: &ServerConfig, pool: &Pool, metrics: &Arc<ServerMetrics>) {
+    let mut out = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    if let Err(e) = run_session(stream, cfg, pool, metrics) {
+        let _ = out.write_all(format!("ERR {e}\n").as_bytes());
+    }
+    let _ = out.flush();
+}
+
+/// Drive one connection end to end; `Err` is rendered as an `ERR` line by
+/// the caller.
+fn run_session(
+    stream: TcpStream,
+    cfg: &ServerConfig,
+    pool: &Pool,
+    metrics: &Arc<ServerMetrics>,
+) -> Result<(), String> {
+    let mut out = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+
+    let kind = read_handshake(&mut reader)?;
+    let meta = read_header(&mut reader).map_err(|e| e.to_string())?;
+
+    metrics.sessions_open.fetch_add(1, Ordering::Relaxed);
+    metrics.sessions_total.fetch_add(1, Ordering::Relaxed);
+    let _open = OpenGuard(metrics);
+
+    let session = Arc::new(Session::new(
+        kind,
+        &cfg.engine,
+        cfg.queue_cap,
+        Arc::clone(metrics),
+    ));
+    session.count_header(16 + meta.len() as u64);
+
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(e) => {
+                session.abort();
+                return Err(e.to_string());
+            }
+        };
+        let end = is_end_frame(&payload);
+        if !session.push_frame(payload, pool) || end {
+            break;
+        }
+    }
+    let response = session.wait_response();
+    out.write_all(response.as_bytes())
+        .map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())
+}
+
+/// Read the `DETECT <kind>\n` line (bounded; CRLF tolerated).
+fn read_handshake<R: BufRead>(reader: &mut R) -> Result<SessionDetector, String> {
+    let mut line = Vec::new();
+    for _ in 0..64 {
+        let mut b = [0u8; 1];
+        reader
+            .read_exact(&mut b)
+            .map_err(|_| "connection closed during handshake".to_string())?;
+        if b[0] == b'\n' {
+            let text = std::str::from_utf8(&line).map_err(|_| "handshake not UTF-8".to_string())?;
+            let token = text
+                .trim_end_matches('\r')
+                .strip_prefix("DETECT ")
+                .ok_or_else(|| format!("bad handshake {text:?} (want \"DETECT sf|f|mb\")"))?;
+            return SessionDetector::parse(token.trim())
+                .ok_or_else(|| format!("unknown detector {token:?} (want sf, f, or mb)"));
+        }
+        line.push(b[0]);
+    }
+    Err("handshake line too long".into())
+}
+
+/// Client half of the wire protocol: submit one journal for detection and
+/// return the response line. Blocks until the server has replayed the
+/// whole journal.
+pub fn submit_journal(
+    addr: &SocketAddr,
+    detector: SessionDetector,
+    journal: &[u8],
+) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(format!("DETECT {}\n", detector.label()).as_bytes())?;
+    stream.write_all(journal)?;
+    stream.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response)?;
+    Ok(response.trim_end().to_string())
+}

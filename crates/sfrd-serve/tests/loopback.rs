@@ -1,0 +1,337 @@
+//! Loopback acceptance tests: many concurrent sessions whose replayed
+//! verdicts match live detection, deterministic backpressure on a bounded
+//! ingestion queue, and protocol errors answered with `ERR`, never a hang.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+
+use sfrd_core::{EngineConfig, FoDetector, GenWorkload, MbDetector, SfDetector, Workload};
+use sfrd_dag::generator::{GenParams, GenProgram};
+use sfrd_runtime::{run_sequential, Batched, Runtime, TaskHooks};
+use sfrd_serve::{submit_journal, Server, ServerConfig, SessionDetector};
+use sfrd_trace::{replay_journal, JournalHooks, JournalReader, JournalWriter};
+
+fn racy_params() -> GenParams {
+    GenParams {
+        addr_space: 4,
+        write_prob: 0.5,
+        ..Default::default()
+    }
+}
+
+fn gen_prog(seed: u64) -> GenProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    GenProgram::random(&mut rng, &racy_params())
+}
+
+/// Record a sequential batched run of `prog` into an in-memory journal.
+fn record_seq(prog: &GenProgram) -> Vec<u8> {
+    let writer = JournalWriter::new(Vec::new(), "loopback").expect("Vec sink");
+    let hooks = Batched::new(JournalHooks::new(writer));
+    let w = GenWorkload(prog.clone());
+    run_sequential(&hooks, |ctx| w.run(ctx));
+    hooks.into_inner().finish_owned().expect("finish journal")
+}
+
+/// Record `prog` from a real parallel execution on `workers` workers.
+fn record_par(prog: &GenProgram, workers: usize) -> Vec<u8> {
+    let writer = JournalWriter::new(Vec::new(), "loopback-par").expect("Vec sink");
+    let hooks = Arc::new(Batched::new(JournalHooks::new(writer)));
+    let rt: Runtime<Batched<JournalHooks<Vec<u8>>>> = Runtime::new(workers);
+    let w = GenWorkload(prog.clone());
+    rt.run(Arc::clone(&hooks), |ctx| w.run(ctx));
+    drop(rt);
+    Arc::try_unwrap(hooks)
+        .ok()
+        .expect("runtime still holds the hooks")
+        .into_inner()
+        .finish_owned()
+        .expect("finish journal")
+}
+
+/// The live racy-address verdict for `prog` under a detector (sequential
+/// batched run — the verdict is a dag property, so any schedule agrees).
+fn live_racy_addrs<H: TaskHooks + DetectorReport>(det: H, prog: &GenProgram) -> BTreeSet<u64> {
+    let det = Batched::new(det);
+    let w = GenWorkload(prog.clone());
+    run_sequential(&det, |ctx| w.run(ctx));
+    det.into_inner().racy_addrs()
+}
+
+/// Uniform access to the racy-address set of the three detector types.
+trait DetectorReport {
+    fn racy_addrs(&self) -> BTreeSet<u64>;
+}
+
+impl DetectorReport for SfDetector {
+    fn racy_addrs(&self) -> BTreeSet<u64> {
+        self.report().racy_addrs
+    }
+}
+
+impl DetectorReport for FoDetector {
+    fn racy_addrs(&self) -> BTreeSet<u64> {
+        self.report().racy_addrs
+    }
+}
+
+impl DetectorReport for MbDetector {
+    fn racy_addrs(&self) -> BTreeSet<u64> {
+        self.report().racy_addrs
+    }
+}
+
+/// Pull `key=` out of an `OK ...` response line.
+fn field<'a>(resp: &'a str, key: &str) -> &'a str {
+    resp.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|t| t.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("no {key}= field in {resp:?}"))
+}
+
+fn addrs_of(resp: &str) -> BTreeSet<u64> {
+    let raw = field(resp, "addrs");
+    if raw.is_empty() {
+        return BTreeSet::new();
+    }
+    raw.split(',').map(|a| a.parse().expect("addr")).collect()
+}
+
+/// ≥64 concurrent sessions on a small pool: every response must carry the
+/// same racy-address verdict as live detection of the same program.
+#[test]
+fn sixty_four_concurrent_sessions_match_live() {
+    const JOURNALS: usize = 8;
+    const SESSIONS: usize = 64;
+
+    let progs: Vec<GenProgram> = (0..JOURNALS as u64).map(|s| gen_prog(0xA5A5 + s)).collect();
+    let journals: Vec<Vec<u8>> = progs.iter().map(record_seq).collect();
+    let sf_live: Vec<BTreeSet<u64>> = progs
+        .iter()
+        .map(|p| live_racy_addrs(SfDetector::from_config(&EngineConfig::default()), p))
+        .collect();
+    let fo_live: Vec<BTreeSet<u64>> = progs
+        .iter()
+        .map(|p| live_racy_addrs(FoDetector::from_config(&EngineConfig::default()), p))
+        .collect();
+
+    let mut cfg = ServerConfig::default();
+    cfg.workers = 4;
+    cfg.queue_cap = 4; // small: concurrent sessions must interleave
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            let journal = journals[i % JOURNALS].clone();
+            std::thread::spawn(move || {
+                let det = if i % 2 == 0 {
+                    SessionDetector::SfOrder
+                } else {
+                    SessionDetector::FOrder
+                };
+                let resp = submit_journal(&addr, det, &journal).expect("submit");
+                (i, resp)
+            })
+        })
+        .collect();
+
+    let mut any_racy = false;
+    for h in handles {
+        let (i, resp) = h.join().expect("client thread");
+        assert!(resp.starts_with("OK "), "session {i}: {resp:?}");
+        let expect = if i % 2 == 0 {
+            &sf_live[i % JOURNALS]
+        } else {
+            &fo_live[i % JOURNALS]
+        };
+        assert_eq!(
+            &addrs_of(&resp),
+            expect,
+            "session {i} verdict diverged from live: {resp:?}"
+        );
+        any_racy |= !expect.is_empty();
+    }
+    assert!(any_racy, "racy regime produced no races at all");
+
+    let m = server.metrics();
+    assert_eq!(m.sessions_total, SESSIONS as u64);
+    assert!(
+        m.frames_in >= 2 * SESSIONS as u64,
+        "events + end per session"
+    );
+    assert!(m.bytes_in > 0);
+    // Responses land just before the open-count decrement; poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().sessions_open != 0 {
+        assert!(Instant::now() < deadline, "open sessions leaked");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+}
+
+/// A paused pool plus a one-frame queue forces the connection reader to
+/// stall deterministically; `backpressure_stalls` must observe it, and the
+/// session must still finish correctly after `resume()`.
+#[test]
+fn backpressure_stalls_are_observable_and_bounded() {
+    // A journal guaranteed to span many frames (>32 KiB of events).
+    let mut w = JournalWriter::new(Vec::new(), "backpressure").expect("Vec sink");
+    for i in 0..40_000u64 {
+        w.accesses(
+            0,
+            (0, 0),
+            &[sfrd_runtime::BatchedAccess {
+                addr: (i % 8) * 64,
+                is_write: i % 3 == 0,
+            }],
+        );
+    }
+    w.task_end(0);
+    let journal = w.finish().expect("finish");
+
+    let mut cfg = ServerConfig::default();
+    cfg.workers = 1;
+    cfg.queue_cap = 1;
+    cfg.start_paused = true;
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let client = std::thread::spawn(move || {
+        submit_journal(&addr, SessionDetector::SfOrder, &journal).expect("submit")
+    });
+
+    // With the pool paused nothing drains, so the reader must stall on the
+    // second frame — deterministically, not probabilistically.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.metrics().backpressure_stalls == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no backpressure stall observed: {:?}",
+            server.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(server.metrics().frames_in <= 2, "queue bound must hold");
+
+    server.resume();
+    let resp = client.join().expect("client thread");
+    assert!(resp.starts_with("OK "), "{resp:?}");
+    assert!(
+        field(&resp, "stalls").parse::<u64>().expect("stalls") >= 1,
+        "per-session stall count must surface in the report: {resp:?}"
+    );
+    assert_eq!(field(&resp, "events"), "40001");
+    server.shutdown();
+}
+
+/// The acceptance scenario: a journal recorded at 8 workers, replayed
+/// single-threaded *and* via a 4-worker server, yields racy-set verdicts
+/// identical to live detection for SF-Order and F-Order; MultiBags ditto
+/// from a sequential recording.
+#[test]
+fn eight_worker_recording_matches_live_everywhere() {
+    // First seed whose program actually races, so the comparison is
+    // non-vacuous (deterministic: the scan order is fixed).
+    let (prog, sf_live) = (0u64..64)
+        .map(|s| {
+            let p = gen_prog(0xBEEF + s);
+            let v = live_racy_addrs(SfDetector::from_config(&EngineConfig::default()), &p);
+            (p, v)
+        })
+        .find(|(_, v)| !v.is_empty())
+        .expect("some seed in the racy regime must race");
+    let par_journal = record_par(&prog, 8);
+    let seq_journal = record_seq(&prog);
+
+    let fo_live = live_racy_addrs(FoDetector::from_config(&EngineConfig::default()), &prog);
+    let mb_live = live_racy_addrs(MbDetector::from_config(&EngineConfig::default()), &prog);
+
+    // Single-threaded replay, straight through the library.
+    let sf = SfDetector::from_config(&EngineConfig::default());
+    let mut reader = JournalReader::new(&par_journal[..]).expect("header");
+    replay_journal(&mut reader, &sf).expect("replay");
+    assert_eq!(sf.report().racy_addrs, sf_live);
+
+    let fo = FoDetector::from_config(&EngineConfig::default());
+    let mut reader = JournalReader::new(&par_journal[..]).expect("header");
+    replay_journal(&mut reader, &fo).expect("replay");
+    assert_eq!(fo.report().racy_addrs, fo_live);
+
+    // Via the 4-worker server.
+    let mut cfg = ServerConfig::default();
+    cfg.workers = 4;
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let resp = submit_journal(&addr, SessionDetector::SfOrder, &par_journal).expect("sf");
+    assert!(resp.starts_with("OK "), "{resp:?}");
+    assert_eq!(addrs_of(&resp), sf_live);
+
+    let resp = submit_journal(&addr, SessionDetector::FOrder, &par_journal).expect("f");
+    assert!(resp.starts_with("OK "), "{resp:?}");
+    assert_eq!(addrs_of(&resp), fo_live);
+
+    // MultiBags needs the DFS task-return order only the sequential
+    // runtime records.
+    let resp = submit_journal(&addr, SessionDetector::MultiBags, &seq_journal).expect("mb");
+    assert!(resp.starts_with("OK "), "{resp:?}");
+    assert_eq!(addrs_of(&resp), mb_live);
+
+    server.shutdown();
+}
+
+/// Protocol abuse gets an `ERR` line, never a hang or a dead worker.
+#[test]
+fn protocol_errors_answer_err() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let roundtrip = |payload: &[u8]| -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(payload).expect("write");
+        s.shutdown(Shutdown::Write).expect("shutdown write");
+        let mut line = String::new();
+        BufReader::new(s).read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    };
+
+    // Not a handshake at all.
+    assert!(roundtrip(b"HELLO\n").starts_with("ERR "));
+    // Unknown detector token.
+    assert!(roundtrip(b"DETECT quantum\n").starts_with("ERR "));
+    // Handshake then garbage instead of a journal header.
+    assert!(roundtrip(b"DETECT sf\ngarbage").starts_with("ERR "));
+    // Valid header, then the connection dies mid-stream: truncated.
+    let valid = JournalWriter::new(Vec::new(), "x")
+        .expect("Vec sink")
+        .finish()
+        .expect("finish");
+    let header = &valid[..valid.len() - 5]; // drop the end frame
+    let mut req = b"DETECT sf\n".to_vec();
+    req.extend_from_slice(header);
+    assert!(roundtrip(&req).starts_with("ERR "));
+
+    // The server survives all of it and still serves a real session.
+    let prog = gen_prog(7);
+    let journal = record_seq(&prog);
+    let resp = submit_journal(&addr, SessionDetector::SfOrder, &journal).expect("submit");
+    assert!(resp.starts_with("OK "), "{resp:?}");
+
+    // The open-count decrement races only with the final response flush;
+    // give it a moment, then it must reach zero.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().sessions_open != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "an error path leaked an open session: {:?}",
+            server.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,58 @@
+//! # sfrd-trace — versioned binary strand-event journals
+//!
+//! The unified strand-event pipeline made every detector event-shaped: a
+//! run *is* its stream of `spawn`/`create`/`sync`/`get`/task-end events
+//! plus per-position access batches. This crate serializes that stream to
+//! a compact, versioned binary **journal**, splitting *record* from
+//! *detect*:
+//!
+//! * [`JournalHooks`] — a [`TaskHooks`](sfrd_runtime::TaskHooks)
+//!   implementation (used under [`Batched`](sfrd_runtime::Batched), so the
+//!   recorded access stream is exactly what a live batched detector would
+//!   have seen) that appends every event to a [`JournalWriter`];
+//! * [`JournalReader`] — a streaming decoder over any `Read`;
+//! * [`replay_journal`] — feeds a decoded stream into any `TaskHooks`
+//!   sink, per-strand access batches and verdict caches included, so a
+//!   fresh detector reproduces the recording run's verdicts (and, for
+//!   sequentially recorded journals, its counters) exactly.
+//!
+//! ## Why replay is sound
+//!
+//! The recording hooks serialize events under one mutex at
+//! hook-invocation time, so the journal is a *linearization* of the
+//! recorded dag: a child's first event appears after its `Spawn`/`Create`,
+//! a `Get` appears after the future's final strand was published, and the
+//! per-strand event order is program order. Replaying that sequence
+//! serially therefore executes the *same dag* under an adjacent legal
+//! schedule — and determinacy races are a property of the dag, not the
+//! schedule, so the racy-address verdict is identical (the same argument
+//! that justifies the batch pipeline itself). MultiBags additionally
+//! requires the serial depth-first event order (its SP-bags invariant), so
+//! journals destined for MultiBags replay must be *recorded* on the
+//! sequential runtime — which also records the `TaskReturn` events it
+//! needs.
+//!
+//! ## Format (version 1)
+//!
+//! Header: 8-byte magic `SFRDJRNL`, `u32` LE version, `u32` LE metadata
+//! length, metadata (UTF-8). Then length-prefixed frames (`u32` LE payload
+//! length; payload byte 0 is the frame kind): kind 1 carries a run of
+//! varint-packed events, kind 2 is the explicit end-of-journal marker (a
+//! journal without it is truncated). Access records pack as
+//! delta-zigzag-varint addresses plus an is-write bitmap; see `DESIGN.md`
+//! §12 for the full layout and the versioning rules.
+
+#![warn(missing_docs)]
+
+mod format;
+mod reader;
+mod replay;
+mod varint;
+mod writer;
+
+pub use format::{
+    is_end_frame, is_journal, JournalError, JOURNAL_MAGIC, JOURNAL_VERSION, MAX_FRAME_LEN,
+};
+pub use reader::{read_frame, read_header, DecodedFrame, EventDecoder, JEvent, JournalReader};
+pub use replay::{replay_journal, ReplayStats, Replayer};
+pub use writer::{JournalHooks, JournalWriter};

@@ -1,0 +1,164 @@
+//! Feed a decoded journal into any [`TaskHooks`] sink.
+
+use std::io::Read;
+
+use sfrd_runtime::batch::DEFAULT_BATCH_CAP;
+use sfrd_runtime::{AccessBatch, TaskHooks};
+
+use crate::format::JournalError;
+use crate::reader::{JEvent, JournalReader};
+
+/// What a replay processed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Events replayed.
+    pub events: u64,
+    /// Access batches delivered (the recording run's flushes).
+    pub flushes: u64,
+    /// Access entries delivered.
+    pub accesses: u64,
+    /// Accesses the recording filter combined away (restored to the sink's
+    /// counters, not replayed as entries).
+    pub filtered: u64,
+}
+
+/// One live strand of the replay: the sink's strand state plus the
+/// per-strand [`AccessBatch`] whose verdict cache must persist across
+/// `Accesses` events — dropping it per event would re-query reachability
+/// the recording run's cache skipped, breaking counter parity with live
+/// batched detection.
+struct PerStrand<S> {
+    strand: S,
+    batch: AccessBatch,
+}
+
+/// Incremental replay state: the strand table of a journal being fed into
+/// one sink, event by event. The detection server holds one per session
+/// and feeds events as frames arrive off the wire; [`replay_journal`] is
+/// the whole-stream wrapper.
+///
+/// The sink sees exactly the hook sequence the recording run's detector
+/// saw: boundary ordering is baked into the journal (the recording
+/// `Batched` wrapper flushed batches before each boundary event), entries
+/// re-enter through [`AccessBatch::reinject`] (no re-filtering — the
+/// journal already holds the filter-admitted stream), and strand state is
+/// kept per id until consumed by `Sync`/`Get`. Replay is single-threaded
+/// by construction; the journal's linearization makes that a legal
+/// schedule of the recorded dag.
+pub struct Replayer<H: TaskHooks> {
+    strands: Vec<Option<PerStrand<H::Strand>>>,
+    stats: ReplayStats,
+}
+
+impl<H: TaskHooks> Replayer<H> {
+    /// A replayer holding only the sink's root strand (journal id 0).
+    pub fn new(sink: &H) -> Self {
+        Self {
+            strands: vec![Some(PerStrand {
+                strand: sink.root(),
+                batch: AccessBatch::new(DEFAULT_BATCH_CAP),
+            })],
+            stats: ReplayStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Deliver one event to the sink. Events must arrive in journal
+    /// order; a reference to an id never introduced (or already consumed)
+    /// is [`JournalError::UnknownStrand`].
+    pub fn feed(&mut self, sink: &H, ev: &JEvent) -> Result<(), JournalError> {
+        fn live<S>(
+            table: &mut [Option<PerStrand<S>>],
+            id: u32,
+        ) -> Result<&mut PerStrand<S>, JournalError> {
+            table
+                .get_mut(id as usize)
+                .and_then(Option::as_mut)
+                .ok_or(JournalError::UnknownStrand(id))
+        }
+
+        fn take<S>(
+            table: &mut [Option<PerStrand<S>>],
+            id: u32,
+        ) -> Result<PerStrand<S>, JournalError> {
+            table
+                .get_mut(id as usize)
+                .and_then(Option::take)
+                .ok_or(JournalError::UnknownStrand(id))
+        }
+
+        self.stats.events += 1;
+        match ev {
+            &JEvent::Spawn { parent, child } | &JEvent::Create { parent, child } => {
+                let is_create = matches!(ev, JEvent::Create { .. });
+                let p = live(&mut self.strands, parent)?;
+                let strand = if is_create {
+                    sink.on_create(&mut p.strand)
+                } else {
+                    sink.on_spawn(&mut p.strand)
+                };
+                let slot = PerStrand {
+                    strand,
+                    batch: AccessBatch::new(DEFAULT_BATCH_CAP),
+                };
+                if self.strands.len() != child as usize {
+                    return Err(JournalError::UnknownStrand(child));
+                }
+                self.strands.push(Some(slot));
+            }
+            JEvent::Sync { strand, children } => {
+                let joined = children
+                    .iter()
+                    .map(|&c| take(&mut self.strands, c).map(|p| p.strand))
+                    .collect::<Result<Vec<_>, _>>()?;
+                sink.on_sync(&mut live(&mut self.strands, *strand)?.strand, joined);
+            }
+            &JEvent::Get { strand, done } => {
+                let done = take(&mut self.strands, done)?;
+                sink.on_get(&mut live(&mut self.strands, strand)?.strand, &done.strand);
+            }
+            &JEvent::TaskEnd { strand } => {
+                sink.on_task_end(&mut live(&mut self.strands, strand)?.strand);
+            }
+            &JEvent::TaskReturn { parent, child } => {
+                // Both strands stay live (the child is consumed later by
+                // its sync); borrow them disjointly by taking the child
+                // out around the call.
+                let mut c = take(&mut self.strands, child)?;
+                sink.on_task_return(&mut live(&mut self.strands, parent)?.strand, &mut c.strand);
+                self.strands[child as usize] = Some(c);
+            }
+            JEvent::Accesses {
+                strand,
+                filtered_reads,
+                filtered_writes,
+                entries,
+            } => {
+                self.stats.flushes += u64::from(!entries.is_empty());
+                self.stats.accesses += entries.len() as u64;
+                self.stats.filtered += filtered_reads + filtered_writes;
+                let p = live(&mut self.strands, *strand)?;
+                p.batch
+                    .reinject(entries, (*filtered_reads, *filtered_writes));
+                sink.on_access_batch(&mut p.strand, &mut p.batch);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replay every remaining event of `reader` into `sink`.
+pub fn replay_journal<R: Read, H: TaskHooks>(
+    reader: &mut JournalReader<R>,
+    sink: &H,
+) -> Result<ReplayStats, JournalError> {
+    let mut rp = Replayer::new(sink);
+    while let Some(ev) = reader.next_event()? {
+        rp.feed(sink, &ev)?;
+    }
+    Ok(rp.stats())
+}

@@ -13,6 +13,9 @@
 //!   reachability oracle, and random structured-future program generators.
 //! * [`om`] ([`sfrd_om`]) — the order-maintenance structure.
 //! * [`workloads`] ([`sfrd_workloads`]) — the paper's five benchmarks.
+//! * [`trace`] ([`sfrd_trace`]) — the versioned binary strand-event
+//!   journal: record a run once, replay it into any detector later (or
+//!   ship it to the `sfrd-serve` detection server).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -22,15 +25,23 @@ pub use sfrd_om as om;
 pub use sfrd_reach as reach;
 pub use sfrd_runtime as runtime;
 pub use sfrd_shadow as shadow;
+pub use sfrd_trace as trace;
 pub use sfrd_workloads as workloads;
 
 /// Convenience prelude: the names most programs under test need.
+///
+/// Configuration enters through two types only: [`DriveConfig`]
+/// (assembled with [`DriveConfig::builder`]) for end-to-end runs, and
+/// [`EngineConfig`] for constructing a detector directly.
 pub mod prelude {
     pub use sfrd_core::{
-        drive, Detector, DetectorKind, DriveConfig, FastPath, FutureHandle, Mode, MultiBags,
-        RaceReport, ReachOnly, SetRepr, SfOrder, ShadowArray, ShadowCell, ShadowMatrix, Strand,
-        Workload, WspDetector,
+        drive, Detector, DetectorKind, DriveConfig, DriveConfigBuilder, EngineConfig, FastPath,
+        FutureHandle, Mode, MultiBags, OmBackend, RaceReport, ReachOnly, SetRepr, SfOrder,
+        ShadowArray, ShadowCell, ShadowMatrix, Strand, Workload, WspDetector,
     };
     pub use sfrd_runtime::{Cx, RuntimeConfig};
     pub use sfrd_shadow::{ReaderPolicy, ShadowBackend};
+    pub use sfrd_trace::{
+        replay_journal, JournalError, JournalHooks, JournalReader, JournalWriter,
+    };
 }

@@ -44,18 +44,22 @@ fn all_configs() -> Vec<DriveConfig> {
         for batched in [false, true] {
             for kind in [DetectorKind::SfOrder, DetectorKind::FOrder] {
                 for workers in WORKERS {
-                    cfgs.push(DriveConfig {
-                        batched,
-                        shadow,
-                        ..DriveConfig::with(kind, Mode::Full, workers)
-                    });
+                    cfgs.push(
+                        DriveConfig::with(kind, Mode::Full, workers)
+                            .to_builder()
+                            .batched(batched)
+                            .shadow(shadow)
+                            .build(),
+                    );
                 }
             }
-            cfgs.push(DriveConfig {
-                batched,
-                shadow,
-                ..DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)
-            });
+            cfgs.push(
+                DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)
+                    .to_builder()
+                    .batched(batched)
+                    .shadow(shadow)
+                    .build(),
+            );
         }
     }
     cfgs
@@ -157,19 +161,19 @@ fn batching_cuts_lock_ops() {
     let w = DisjointPipeline { n: 2000 };
     let base = drive(
         &w,
-        DriveConfig {
-            batched: false,
-            shadow: ShadowBackend::Sharded,
-            ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
-        },
+        DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
+            .to_builder()
+            .batched(false)
+            .shadow(ShadowBackend::Sharded)
+            .build(),
     );
     let batched = drive(
         &w,
-        DriveConfig {
-            batched: true,
-            shadow: ShadowBackend::Sharded,
-            ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
-        },
+        DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 2)
+            .to_builder()
+            .batched(true)
+            .shadow(ShadowBackend::Sharded)
+            .build(),
     );
     let base_rep = base.report.unwrap();
     let batched_rep = batched.report.unwrap();
@@ -206,10 +210,10 @@ fn paged_backend_cuts_lock_ops() {
             for shadow in [ShadowBackend::Sharded, ShadowBackend::Paged] {
                 let out = drive(
                     &w,
-                    DriveConfig {
-                        shadow,
-                        ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
-                    },
+                    DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                        .to_builder()
+                        .shadow(shadow)
+                        .build(),
                 );
                 let rep = out.report.unwrap();
                 match &racy {
@@ -223,10 +227,10 @@ fn paged_backend_cuts_lock_ops() {
         }
         let sharded = drive(
             &w,
-            DriveConfig {
-                shadow: ShadowBackend::Sharded,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 4)
-            },
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 4)
+                .to_builder()
+                .shadow(ShadowBackend::Sharded)
+                .build(),
         )
         .report
         .unwrap();
@@ -247,10 +251,10 @@ fn paged_backend_cuts_lock_ops() {
         // must actually fire on these read-heavy kernels.
         let fast = drive(
             &w,
-            DriveConfig {
-                policy: ReaderPolicy::PerFutureLR,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 4)
-            },
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 4)
+                .to_builder()
+                .policy(ReaderPolicy::PerFutureLR)
+                .build(),
         )
         .report
         .unwrap();
@@ -275,15 +279,19 @@ fn set_representations_agree_on_racy_sets() {
         for set_repr in [SetRepr::Dense, SetRepr::Adaptive] {
             let mut cfgs = Vec::new();
             for workers in WORKERS {
-                cfgs.push(DriveConfig {
-                    set_repr,
-                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
-                });
+                cfgs.push(
+                    DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                        .to_builder()
+                        .set_repr(set_repr)
+                        .build(),
+                );
             }
-            cfgs.push(DriveConfig {
-                set_repr,
-                ..DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)
-            });
+            cfgs.push(
+                DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)
+                    .to_builder()
+                    .set_repr(set_repr)
+                    .build(),
+            );
             for cfg in cfgs {
                 let w = GenWorkload(prog.clone());
                 let rep = drive(&w, cfg).report.unwrap();
@@ -334,10 +342,10 @@ fn adaptive_sets_cut_bytes_4x_on_future_chains() {
         let w = FutureChain { k };
         let rep = drive(
             &w,
-            DriveConfig {
-                set_repr,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1)
-            },
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1)
+                .to_builder()
+                .set_repr(set_repr)
+                .build(),
         )
         .report
         .unwrap();
@@ -369,15 +377,19 @@ fn kernels_agree_on_racy_sets() {
         for kernels in [KernelKind::Scalar, KernelKind::Auto] {
             let mut cfgs = Vec::new();
             for workers in [4usize, 8] {
-                cfgs.push(DriveConfig {
-                    kernels,
-                    ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
-                });
+                cfgs.push(
+                    DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                        .to_builder()
+                        .kernels(kernels)
+                        .build(),
+                );
             }
-            cfgs.push(DriveConfig {
-                kernels,
-                ..DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)
-            });
+            cfgs.push(
+                DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)
+                    .to_builder()
+                    .kernels(kernels)
+                    .build(),
+            );
             for cfg in cfgs {
                 let w = GenWorkload(prog.clone());
                 let rep = drive(&w, cfg).report.unwrap();
@@ -413,10 +425,10 @@ fn kernel_counters_split_but_totals_match() {
         let w = FutureChain { k: 2048 };
         let rep = drive(
             &w,
-            DriveConfig {
-                kernels,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1)
-            },
+            DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1)
+                .to_builder()
+                .kernels(kernels)
+                .build(),
         )
         .report
         .unwrap();
@@ -596,10 +608,10 @@ fn unbalanced_tree_verdicts_equal_across_workers_and_backends() {
 
     for sched in [SchedBackend::ChaseLev, SchedBackend::MutexDeque] {
         for workers in [2, 8] {
-            let cfg = DriveConfig {
-                sched,
-                ..DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
-            };
+            let cfg = DriveConfig::with(DetectorKind::SfOrder, Mode::Full, workers)
+                .to_builder()
+                .sched(sched)
+                .build();
             let report = drive(&w, cfg).report.expect("detector attached");
             assert_eq!(
                 report.racy_addrs, base,

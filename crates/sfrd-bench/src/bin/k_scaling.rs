@@ -20,8 +20,13 @@
 //!
 //! ```sh
 //! cargo run -p sfrd-bench --release --bin k_scaling -- [kmax] \
+//!     [--om list|depa] [--kernels scalar|auto] \
 //!     [--json] [--json-out PATH] [--json-label NAME]
 //! ```
+//!
+//! A second sweep runs the fan-out chain cells (`fanout_chain_k<k>`):
+//! SF-Order reach under **both** `--om` backends, stressing deep-label
+//! `precedes` compares (the DePa-vs-OmList delta of ISSUE 10).
 //!
 //! `--json` appends one snapshot per invocation to the `BENCH_fig4.json`
 //! perf trajectory (same schema-2 row shape as `fig4_times`: one
@@ -29,7 +34,7 @@
 //! configuration with the full metrics payload).
 
 use sfrd_bench::{append_snapshot, cell_json, Json, Table, TimedCell, Timing};
-use sfrd_core::{drive, DetectorKind, DriveConfig, KernelKind, Mode, SetRepr, Workload};
+use sfrd_core::{drive, DetectorKind, DriveConfig, Mode, OmBackend, SetRepr, Workload};
 use sfrd_runtime::Cx;
 
 /// A chain of `k` futures, each gotten right after creation — maximizes
@@ -43,6 +48,37 @@ impl Workload for FutureChain {
         for i in 0..self.k {
             let h = ctx.create(move |c| {
                 c.record_write(i as u64 * 8);
+            });
+            ctx.get(h);
+        }
+    }
+}
+
+/// A chain of `k` futures where each future fans out [`FAN`] spawned
+/// readers of a shared window before the chain continues. The chain keeps
+/// deepening the SP positions (under the DePa backend every fork extends
+/// the path label, so depth grows linearly in `k`), and every reader's
+/// access-history check runs `precedes` between two *deep* positions —
+/// the worst case for label-compare length and the cell where the
+/// `--om` backends separate.
+struct FanoutChain {
+    k: usize,
+}
+
+/// Fan-out width of [`FanoutChain`] (readers spawned per chain link).
+const FAN: usize = 8;
+
+impl Workload for FanoutChain {
+    fn run<'s, C: Cx<'s>>(&'s self, ctx: &mut C) {
+        for i in 0..self.k {
+            let h = ctx.create(move |c| {
+                for j in 0..FAN {
+                    c.spawn(move |gc| {
+                        gc.record_read(j as u64 * 8);
+                    });
+                }
+                c.sync();
+                c.record_write(i as u64 * 8 + 4096);
             });
             ctx.get(h);
         }
@@ -68,7 +104,9 @@ fn main() {
     let mut kmax: usize = 8192;
     let mut json: Option<String> = None;
     let mut json_label: Option<String> = None;
-    let mut kernels = KernelKind::default();
+    // Backend flags (--kernels, --om, ...) route through the one shared
+    // parser so this binary accepts the same spellings as the others.
+    let mut backend = DriveConfig::builder();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -77,25 +115,24 @@ fn main() {
             }
             "--json-out" => json = Some(args.next().expect("missing --json-out path")),
             "--json-label" => json_label = Some(args.next().expect("missing --json-label name")),
-            "--kernels" => {
-                kernels = match args.next().as_deref() {
-                    Some("scalar") => KernelKind::Scalar,
-                    Some("auto") => KernelKind::Auto,
-                    other => panic!("bad --kernels {other:?} (scalar|auto)"),
-                }
-            }
-            other => match other.parse() {
-                Ok(k) => kmax = k,
-                Err(_) => {
-                    eprintln!(
-                        "usage: k_scaling [kmax] [--kernels scalar|auto] [--json] \
-                         [--json-out PATH] [--json-label NAME]"
-                    );
-                    std::process::exit(2);
-                }
+            other => match backend.parse_backend_flag(other, &mut args) {
+                Ok(true) => {}
+                _ => match other.parse() {
+                    Ok(k) => kmax = k,
+                    Err(_) => {
+                        eprintln!(
+                            "usage: k_scaling [kmax] {} [--json] \
+                             [--json-out PATH] [--json-label NAME]",
+                            sfrd_core::DriveConfigBuilder::backend_flag_usage()
+                        );
+                        std::process::exit(2);
+                    }
+                },
             },
         }
     }
+    let base_cfg = backend.build();
+    let kernels = base_cfg.kernels;
     let kernels_label = format!("{kernels:?}").to_lowercase();
     println!("# k-scaling of reachability construction (reach config, 1 worker)");
     println!("# SFa = SF-Order adaptive sets (default), SFd = SF-Order dense baseline");
@@ -124,6 +161,7 @@ fn main() {
                     .to_builder()
                     .set_repr(set_repr)
                     .kernels(kernels)
+                    .om_backend(base_cfg.om_backend)
                     .build(),
             );
             let rep = out.report.unwrap();
@@ -160,6 +198,66 @@ fn main() {
         k *= 2;
     }
     print!("{}", t.render());
+
+    // High-k fan-out cells: deep-chain + fan-out readers, SF-Order reach
+    // under BOTH order-maintenance backends. The chain keeps deepening the
+    // SP positions, so this is the `precedes`-depth stress where the `--om`
+    // backends separate (DePa pays longer label compares but zero shared
+    // structure; OmList pays seqlock reads on a shared list).
+    println!("\n# fan-out chain (FAN={FAN} readers per link), SF-Order reach, both --om backends");
+    let mut ft = Table::new(&["k", "om-list (ms)", "depa (ms)", "depa words", "max depth"]);
+    let mut k = 512;
+    while k <= kmax.min(4096) {
+        let mut row = vec![k.to_string()];
+        let mut rows: Vec<Json> = Vec::new();
+        let mut depa_words = 0u64;
+        let mut depa_depth = 0u64;
+        for om in [OmBackend::OmList, OmBackend::DePa] {
+            let w = FanoutChain { k };
+            let out = drive(
+                &w,
+                DriveConfig::with(DetectorKind::SfOrder, Mode::Reach, 1)
+                    .to_builder()
+                    .kernels(kernels)
+                    .om_backend(om)
+                    .build(),
+            );
+            let rep = out.report.unwrap();
+            assert_eq!(rep.counts.futures as usize, k);
+            if om == OmBackend::DePa {
+                assert_eq!(rep.metrics.om_global_escalations, 0);
+                assert_eq!(rep.metrics.om_query_retries, 0);
+                depa_words = rep.metrics.depa_label_words;
+                depa_depth = rep.metrics.depa_max_depth;
+            }
+            row.push(format!("{:.2}", out.wall.as_secs_f64() * 1e3));
+            let cell = TimedCell {
+                timing: Timing {
+                    mean: out.wall.as_secs_f64(),
+                    sd: 0.0,
+                },
+                report: Some(rep),
+            };
+            rows.push(cell_json(
+                &format!("SF-Order/reach/{}", om.label()),
+                1,
+                &cell,
+            ));
+        }
+        row.push(depa_words.to_string());
+        row.push(depa_depth.to_string());
+        ft.row(row);
+        bench_objects.push(
+            Json::obj()
+                .field("bench", format!("fanout_chain_k{k}"))
+                .field("work", (k * FAN) as u64)
+                .field("span", k as u64)
+                .field("parallelism", FAN as f64)
+                .field("rows", rows),
+        );
+        k *= 2;
+    }
+    print!("{}", ft.render());
     if let Some(path) = &json {
         let label =
             json_label.unwrap_or_else(|| format!("kscaling-kmax{kmax}-kernels-{kernels_label}"));

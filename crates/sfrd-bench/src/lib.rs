@@ -60,7 +60,8 @@ pub struct HarnessArgs {
     /// auto — SIMD when the CPU supports it; scalar is the
     /// `simd_kernels` ablation baseline).
     pub kernels: KernelKind,
-    /// Order-maintenance backend (`--om-backend om-list`; reserved slot).
+    /// Order-maintenance backend (`--om list|depa`, alias `--om-backend`;
+    /// default the shared two-level list).
     pub om_backend: OmBackend,
 }
 
@@ -283,6 +284,9 @@ pub fn report_json(rep: &RaceReport) -> Json {
         .field("om_group_locks", rep.metrics.om_group_locks)
         .field("om_global_escalations", rep.metrics.om_global_escalations)
         .field("om_query_retries", rep.metrics.om_query_retries)
+        .field("depa_label_words", rep.metrics.depa_label_words)
+        .field("depa_spills", rep.metrics.depa_spills)
+        .field("depa_max_depth", rep.metrics.depa_max_depth)
         .field("shadow_fast_hits", rep.metrics.shadow_fast_hits)
         .field("shadow_cas_retries", rep.metrics.shadow_cas_retries)
         .field("page_allocs", rep.metrics.page_allocs)

@@ -19,10 +19,10 @@
 //!   `fig5_memory`, `k_scaling`, `trace_tool`, `sfrd-serve`) accepts the
 //!   same spellings.
 //!
-//! Both carry the [`OmBackend`] slot reserved for the DePa packed-label
-//! order-maintenance backend (ROADMAP item 2): today it has one variant,
-//! so selecting it is a no-op, but the configuration surface will not
-//! change again when the second backend lands.
+//! Both carry the [`OmBackend`] selector for the order-maintenance layer:
+//! the shared two-level `OmList` (default) or the DePa fork-local
+//! packed-label backend, chosen end-to-end via `--om list|depa` (alias
+//! `--om-backend`) without any per-binary matching.
 
 use sfrd_om::OmBackend;
 use sfrd_reach::{KernelKind, SetRepr};
@@ -51,7 +51,7 @@ pub struct EngineConfig {
     pub set_repr: SetRepr,
     /// 512-bit chunk-kernel dispatch policy.
     pub kernels: KernelKind,
-    /// Order-maintenance backend (reserved: one variant today).
+    /// Order-maintenance backend (`OmList` shared list or DePa labels).
     pub om_backend: OmBackend,
 }
 
@@ -236,8 +236,10 @@ impl DriveConfigBuilder {
     }
 
     /// The shared backend-flag parser: every binary routes unmatched flags
-    /// here so `--shadow/--set-repr/--sched/--kernels/--om-backend` are
-    /// spelled and validated in exactly one place.
+    /// here so `--shadow/--set-repr/--sched/--kernels/--om` (alias
+    /// `--om-backend`) are spelled and validated in exactly one place —
+    /// [`OmBackend::parse`] is the single source of truth for the `--om`
+    /// value set.
     ///
     /// Returns `Ok(true)` when `flag` was recognized (its value consumed
     /// from `args`), `Ok(false)` when it is not a backend flag (nothing
@@ -278,10 +280,10 @@ impl DriveConfigBuilder {
                     other => return Err(format!("bad --kernels {other:?} (scalar|auto)")),
                 };
             }
-            "--om-backend" => {
+            "--om" | "--om-backend" => {
                 let v = value(flag, args)?;
-                self.cfg.om_backend = OmBackend::parse(&v)
-                    .ok_or_else(|| format!("bad --om-backend {v:?} (om-list)"))?;
+                self.cfg.om_backend =
+                    OmBackend::parse(&v).ok_or_else(|| format!("bad {flag} {v:?} (list|depa)"))?;
             }
             _ => return Ok(false),
         }
@@ -292,7 +294,7 @@ impl DriveConfigBuilder {
     /// (`Self::parse_backend_flag`) accepts, for the binaries' `--help`.
     pub fn backend_flag_usage() -> &'static str {
         "[--shadow sharded|paged] [--set-repr dense|adaptive] \
-         [--sched lev|mutex] [--kernels scalar|auto] [--om-backend om-list]"
+         [--sched lev|mutex] [--kernels scalar|auto] [--om list|depa]"
     }
 }
 
@@ -382,6 +384,26 @@ mod tests {
         assert_eq!(cfg.sched, SchedBackend::MutexDeque);
         assert_eq!(cfg.kernels, KernelKind::Scalar);
         assert_eq!(cfg.om_backend, OmBackend::OmList);
+    }
+
+    #[test]
+    fn om_flag_alias_selects_either_backend() {
+        for (value, expect) in [
+            ("list", OmBackend::OmList),
+            ("om-list", OmBackend::OmList),
+            ("depa", OmBackend::DePa),
+        ] {
+            for flag in ["--om", "--om-backend"] {
+                let mut b = DriveConfig::builder();
+                let values = [value];
+                let mut args = values.iter().map(|s| s.to_string());
+                assert_eq!(b.parse_backend_flag(flag, &mut args), Ok(true));
+                assert_eq!(b.build().om_backend, expect, "{flag} {value}");
+            }
+        }
+        let mut b = DriveConfig::builder();
+        let mut args = ["bogus"].iter().map(|s| s.to_string());
+        assert!(b.parse_backend_flag("--om", &mut args).is_err());
     }
 
     #[test]

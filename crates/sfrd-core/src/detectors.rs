@@ -22,6 +22,7 @@
 
 use parking_lot::Mutex;
 
+use sfrd_om::OmBackend;
 use sfrd_reach::{
     FoReach, FoStrand, KernelKind, MbPos, MbReach, MbStrand, SetRepr, SetStatsSnapshot, SfPos,
     SfReach, SfStrand, StrandPos,
@@ -90,8 +91,8 @@ impl<H: sfrd_runtime::TaskHooks> sfrd_runtime::TaskHooks for ReachOnly<H> {
 pub struct SfEngine(pub(crate) SfReach);
 
 impl SfEngine {
-    fn new(repr: SetRepr, kernels: KernelKind) -> (Self, SfStrand) {
-        let (reach, root) = SfReach::with_config(repr, kernels);
+    fn new(repr: SetRepr, kernels: KernelKind, om_backend: OmBackend) -> (Self, SfStrand) {
+        let (reach, root) = SfReach::with_config_om(repr, kernels, om_backend);
         (Self(reach), root)
     }
 }
@@ -159,7 +160,7 @@ impl SfDetector {
     /// ship-it-all variant the paper's implementation uses.
     pub fn from_config(cfg: &EngineConfig) -> Self {
         EventSink::build(
-            SfEngine::new(cfg.set_repr, cfg.kernels),
+            SfEngine::new(cfg.set_repr, cfg.kernels, cfg.om_backend),
             cfg.mode,
             cfg.policy,
             cfg.shadow,
@@ -215,8 +216,8 @@ impl SfDetector {
 pub struct FoEngine(pub(crate) FoReach);
 
 impl FoEngine {
-    fn new() -> (Self, FoStrand) {
-        let (reach, root) = FoReach::new();
+    fn new(om_backend: OmBackend) -> (Self, FoStrand) {
+        let (reach, root) = FoReach::with_backend(om_backend);
         (Self(reach), root)
     }
 }
@@ -277,7 +278,12 @@ impl FoDetector {
     /// bound readers (the policy is always [`ReaderPolicy::All`]) and has
     /// no future sets on its hot path, so only `mode` and `shadow` apply.
     pub fn from_config(cfg: &EngineConfig) -> Self {
-        EventSink::build(FoEngine::new(), cfg.mode, ReaderPolicy::All, cfg.shadow)
+        EventSink::build(
+            FoEngine::new(cfg.om_backend),
+            cfg.mode,
+            ReaderPolicy::All,
+            cfg.shadow,
+        )
     }
 
     /// Build a one-shot detector with default backends.

@@ -84,8 +84,9 @@ pub struct DriveConfig {
     /// chunked future sets, so F-Order and WSP-Order ignore this.
     pub kernels: KernelKind,
     /// Which order-maintenance backend the reachability engines keep their
-    /// English/Hebrew total orders in. Reserved slot (one variant today)
-    /// for the DePa packed-label backend of ROADMAP item 2.
+    /// English/Hebrew total orders in: the shared two-level `OmList`
+    /// (default) or the DePa fork-local packed-label backend, which is
+    /// escalation- and retry-free by construction.
     pub om_backend: OmBackend,
 }
 

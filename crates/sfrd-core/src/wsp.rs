@@ -30,8 +30,8 @@ pub struct WspStrand {
 pub struct WspEngine(pub(crate) SpOrder);
 
 impl WspEngine {
-    fn new() -> (Self, WspStrand) {
-        let (sp, root) = SpOrder::new();
+    fn new(om_backend: sfrd_om::OmBackend) -> (Self, WspStrand) {
+        let (sp, root) = SpOrder::with_backend(om_backend);
         (Self(sp), WspStrand { sp: root })
     }
 }
@@ -93,7 +93,12 @@ impl WspDetector {
     /// Build a one-shot detector from an [`EngineConfig`]. WSP-Order has
     /// no future sets, so only `mode`, `policy` and `shadow` apply.
     pub fn from_config(cfg: &EngineConfig) -> Self {
-        EventSink::build(WspEngine::new(), cfg.mode, cfg.policy, cfg.shadow)
+        EventSink::build(
+            WspEngine::new(cfg.om_backend),
+            cfg.mode,
+            cfg.policy,
+            cfg.shadow,
+        )
     }
 
     /// Build a one-shot detector with default backends. The classic

@@ -49,9 +49,8 @@
 //! full soundness argument.
 
 use std::cmp::Ordering as CmpOrdering;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use sfrd_runtime::sync::{fence, spin_loop, AtomicU32, AtomicU64, Mutex, Ordering};
 
 use crate::arena::AppendArena;
 
@@ -165,6 +164,13 @@ pub struct OmStats {
     pub splits: u64,
     /// Full group-label respreads.
     pub respreads: u64,
+    /// DePa backend: total 64-bit label words allocated (inline + spilled).
+    pub depa_label_words: u64,
+    /// DePa backend: spill-chunk operations (extension-word appends and
+    /// copy-and-double reallocations) past the inline depth budget.
+    pub depa_spills: u64,
+    /// DePa backend: maximum label depth (bits) observed at publish time.
+    pub depa_max_depth: u64,
 }
 
 impl OmStats {
@@ -178,6 +184,9 @@ impl OmStats {
             relabels: self.relabels + other.relabels,
             splits: self.splits + other.splits,
             respreads: self.respreads + other.respreads,
+            depa_label_words: self.depa_label_words + other.depa_label_words,
+            depa_spills: self.depa_spills + other.depa_spills,
+            depa_max_depth: self.depa_max_depth.max(other.depa_max_depth),
         }
     }
 
@@ -262,6 +271,7 @@ impl OmList {
             relabels: self.counters.relabels.load(Ordering::Relaxed),
             splits: self.counters.splits.load(Ordering::Relaxed),
             respreads: self.counters.respreads.load(Ordering::Relaxed),
+            ..OmStats::default()
         }
     }
 
@@ -341,7 +351,7 @@ impl OmList {
                 // descheduled; spinning without yielding would livelock.
                 std::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                spin_loop();
             }
         }
         GroupGuard { lock }
@@ -590,9 +600,9 @@ impl OmList {
     fn seq_write(&self, f: impl FnOnce()) {
         let s = self.seq.load(Ordering::Relaxed);
         self.seq.store(s.wrapping_add(1), Ordering::Release);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
         f();
-        std::sync::atomic::fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
         self.seq.store(s.wrapping_add(2), Ordering::Release);
     }
 
@@ -617,12 +627,12 @@ impl OmList {
             let s1 = self.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
                 self.counters.query_retries.fetch_add(1, Ordering::Relaxed);
-                std::hint::spin_loop();
+                spin_loop();
                 continue;
             }
             let ka = self.key(a);
             let kb = self.key(b);
-            std::sync::atomic::fence(Ordering::SeqCst);
+            fence(Ordering::SeqCst);
             if self.seq.load(Ordering::Acquire) == s1 {
                 debug_assert_ne!(ka, kb, "distinct items must have distinct keys");
                 return ka.cmp(&kb);

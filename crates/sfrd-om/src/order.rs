@@ -1,0 +1,150 @@
+//! Backend dispatch: one enum over the two order-maintenance
+//! implementations, so `sfrd-reach`'s `SpOrder` (and anything else that
+//! keeps a total order) selects a backend with a value instead of a type
+//! parameter — monomorphization stays contained, and the `--om` flag is a
+//! plain runtime choice.
+
+use std::cmp::Ordering as CmpOrdering;
+
+use crate::depa::DepaList;
+use crate::list::{OmHandle, OmList, OmStats};
+use crate::OmBackend;
+
+/// A total order backed by the backend chosen at construction.
+///
+/// Handles from the two backends are both plain `OmHandle` indices; a
+/// handle is only meaningful for the `OmOrder` that produced it, exactly
+/// as with the concrete types.
+pub enum OmOrder {
+    /// The two-level group-local list (shared structure, seqlock queries).
+    List(OmList),
+    /// The DePa fork-local path-label backend (immutable labels,
+    /// escalation-free by construction).
+    DePa(DepaList),
+}
+
+impl OmOrder {
+    /// Create a total order on `backend` containing a single base element.
+    pub fn new(backend: OmBackend) -> (Self, OmHandle) {
+        match backend {
+            OmBackend::OmList => {
+                let (list, h) = OmList::new();
+                (OmOrder::List(list), h)
+            }
+            OmBackend::DePa => {
+                let (list, h) = DepaList::new();
+                (OmOrder::DePa(list), h)
+            }
+        }
+    }
+
+    /// Which backend this order runs on.
+    pub fn backend(&self) -> OmBackend {
+        match self {
+            OmOrder::List(_) => OmBackend::OmList,
+            OmOrder::DePa(_) => OmBackend::DePa,
+        }
+    }
+
+    /// Insert a new element immediately after `after`.
+    pub fn insert_after(&self, after: OmHandle) -> OmHandle {
+        let [h] = self.insert_n_after::<1>(after);
+        h
+    }
+
+    /// Insert a run of `N` elements right after `after` in one combined
+    /// operation; see [`OmList::insert_n_after`].
+    #[inline]
+    pub fn insert_n_after<const N: usize>(&self, after: OmHandle) -> [OmHandle; N] {
+        match self {
+            OmOrder::List(l) => l.insert_n_after::<N>(after),
+            OmOrder::DePa(l) => l.insert_n_after::<N>(after),
+        }
+    }
+
+    /// Total-order comparison of two handles.
+    #[inline]
+    pub fn order(&self, a: OmHandle, b: OmHandle) -> CmpOrdering {
+        match self {
+            OmOrder::List(l) => l.order(a, b),
+            OmOrder::DePa(l) => l.order(a, b),
+        }
+    }
+
+    /// True iff `a` is strictly before `b` in the order.
+    #[inline]
+    pub fn precedes(&self, a: OmHandle, b: OmHandle) -> bool {
+        match self {
+            OmOrder::List(l) => l.precedes(a, b),
+            OmOrder::DePa(l) => l.precedes(a, b),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            OmOrder::List(l) => l.len(),
+            OmOrder::DePa(l) => l.len(),
+        }
+    }
+
+    /// True when no element beyond construction exists (API parity).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            OmOrder::List(l) => l.is_empty(),
+            OmOrder::DePa(l) => l.is_empty(),
+        }
+    }
+
+    /// All handles in list order (test/diagnostic aid).
+    pub fn iter_order(&self) -> Vec<OmHandle> {
+        match self {
+            OmOrder::List(l) => l.iter_order(),
+            OmOrder::DePa(l) => l.iter_order(),
+        }
+    }
+
+    /// Contention / maintenance counter snapshot.
+    pub fn stats(&self) -> OmStats {
+        match self {
+            OmOrder::List(l) => l.stats(),
+            OmOrder::DePa(l) => l.stats(),
+        }
+    }
+
+    /// Approximate heap bytes used.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            OmOrder::List(l) => l.heap_bytes(),
+            OmOrder::DePa(l) => l.heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_agree_on_a_small_program() {
+        let (a, base_a) = OmOrder::new(OmBackend::OmList);
+        let (b, base_b) = OmOrder::new(OmBackend::DePa);
+        assert_eq!(a.backend(), OmBackend::OmList);
+        assert_eq!(b.backend(), OmBackend::DePa);
+        for om in [&a, &b] {
+            let base = if om.backend() == OmBackend::OmList {
+                base_a
+            } else {
+                base_b
+            };
+            let [c, k, s] = om.insert_n_after::<3>(base);
+            let x = om.insert_after(k);
+            assert!(om.precedes(base, c));
+            assert!(om.precedes(c, k));
+            assert!(om.precedes(k, x));
+            assert!(om.precedes(x, s));
+            assert_eq!(om.iter_order(), vec![base, c, k, x, s]);
+            assert_eq!(om.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Model-checked order-maintenance protocols (`--cfg sfrd_model`).
+//!
+//! Both backends route every atomic through the `sfrd_runtime::sync`
+//! facade, so the in-crate deterministic-interleaving model checker can
+//! drive the *real* implementations through ≥1000 seeded SC schedules:
+//!
+//! * **OmList seqlock**: a writer pushes the head group over its label
+//!   gap / `GROUP_MAX` budget mid-schedule, forcing an escalated relabel
+//!   and a split — both seqlock write sections that rewrite the keys a
+//!   concurrent query reads. The query thread asserts the verification
+//!   chain's order never inverts (label monotonicity across relabels) and
+//!   never observes a torn `(group, label)` key (a torn read would order
+//!   some adjacent pair backwards or as equal).
+//! * **DePa lock-freedom**: concurrent same-anchor runs (racing the
+//!   ticket counter) and a concurrent querier, with the model's mutex
+//!   census asserting ZERO lock acquisitions — the `global_escalations
+//!   == 0` claim held structurally, not statistically.
+//!
+//! Honesty: the model preempts only at facade operations, so this checks
+//! the protocols (seqlock write-section discipline, ticket-CAS publish
+//! order), not hardware-level tearing — the release-mode stress tests in
+//! `om_concurrent.rs` cover real parallel hardware.
+#![cfg(sfrd_model)]
+
+use std::sync::Arc;
+
+use sfrd_om::{OmBackend, OmOrder};
+use sfrd_runtime::model::{self, Config};
+
+/// Serial prefix: enough head inserts that the concurrent phase's next
+/// few pushes cross the group-split threshold (GROUP_MAX = 64) and the
+/// geometric label-gap budget, forcing seqlock write sections while the
+/// reader is running.
+const PREFIX: usize = 62;
+/// Inserts per concurrent writer.
+const CONC: usize = 2;
+
+#[test]
+fn omlist_relabels_never_tear_queries() {
+    let cfg = Config {
+        schedules: 1000,
+        ..Config::default()
+    };
+    let report = model::explore(cfg, || {
+        let (om, base) = OmOrder::new(OmBackend::OmList);
+        let om = Arc::new(om);
+        // A verification chain base < c0 < c1 < c2 built away from the
+        // hammer point (after the current head-insert pile-up).
+        let mut chain = vec![base];
+        let mut last = base;
+        for _ in 0..3 {
+            last = om.insert_after(last);
+            chain.push(last);
+        }
+        for _ in 0..PREFIX {
+            om.insert_after(base);
+        }
+
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let om = Arc::clone(&om);
+                model::spawn(move || {
+                    for _ in 0..CONC {
+                        om.insert_after(base);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let om = Arc::clone(&om);
+            let chain = chain.clone();
+            model::spawn(move || {
+                for _ in 0..3 {
+                    for w in chain.windows(2) {
+                        // Monotone: relabels rewrite keys but never invert
+                        // the order; a torn (group, label) read would show
+                        // up as an inverted or equal adjacent pair.
+                        assert!(om.precedes(w[0], w[1]), "chain order inverted");
+                        assert!(!om.precedes(w[1], w[0]), "torn key: both directions");
+                    }
+                }
+            })
+        };
+        for w in writers {
+            w.join();
+        }
+        reader.join();
+
+        assert_eq!(om.len(), 1 + 3 + PREFIX + 2 * CONC);
+        let stats = om.stats();
+        assert!(
+            stats.global_escalations > 0,
+            "the schedule must exercise the seqlock write path: {stats:?}"
+        );
+    });
+    assert_eq!(report.schedules, cfg.schedules);
+    assert!(
+        report.schedules >= 1000,
+        "acceptance floor: >=1000 schedules"
+    );
+    assert_eq!(report.truncated, 0, "schedules must run to completion");
+    assert!(
+        report.lock_ops > 0,
+        "escalations take the global mutex; the census must see it"
+    );
+}
+
+#[test]
+fn depa_concurrent_runs_take_zero_locks() {
+    let cfg = Config {
+        schedules: 1000,
+        ..Config::default()
+    };
+    let report = model::explore(cfg, || {
+        let (om, base) = OmOrder::new(OmBackend::DePa);
+        let om = Arc::new(om);
+        let mut chain = vec![base];
+        let mut last = base;
+        for _ in 0..3 {
+            last = om.insert_after(last);
+            chain.push(last);
+        }
+
+        // Two writers race runs after the SAME anchor (ticket contention)
+        // and extend private chains; a reader queries throughout.
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let om = Arc::clone(&om);
+                model::spawn(move || {
+                    let first = om.insert_after(base);
+                    let [a, b] = om.insert_n_after::<2>(first);
+                    (first, a, b)
+                })
+            })
+            .collect();
+        let reader = {
+            let om = Arc::clone(&om);
+            let chain = chain.clone();
+            model::spawn(move || {
+                for _ in 0..3 {
+                    for w in chain.windows(2) {
+                        assert!(om.precedes(w[0], w[1]));
+                        assert!(!om.precedes(w[1], w[0]));
+                    }
+                }
+            })
+        };
+        let runs: Vec<_> = writers.into_iter().map(|w| w.join()).collect();
+        reader.join();
+
+        // Each writer's run is internally ordered and nested after base,
+        // before the pre-built chain's first element.
+        for &(first, a, b) in &runs {
+            assert!(om.precedes(base, first));
+            assert!(om.precedes(first, a));
+            assert!(om.precedes(a, b));
+            assert!(om.precedes(b, chain[1]));
+        }
+        // The racing tickets landed in distinct slots: a total order.
+        let (f0, f1) = (runs[0].0, runs[1].0);
+        assert!(
+            om.precedes(f0, f1) != om.precedes(f1, f0),
+            "tickets collided"
+        );
+
+        let stats = om.stats();
+        assert_eq!(stats.global_escalations, 0, "{stats:?}");
+        assert_eq!(stats.query_retries, 0, "{stats:?}");
+        assert_eq!(stats.group_locks, 0, "{stats:?}");
+    });
+    assert_eq!(report.schedules, cfg.schedules);
+    assert!(
+        report.schedules >= 1000,
+        "acceptance floor: >=1000 schedules"
+    );
+    assert_eq!(report.truncated, 0, "schedules must run to completion");
+    assert_eq!(
+        report.lock_ops, 0,
+        "DePa inserts and queries must take zero mutex acquisitions"
+    );
+}

@@ -1,7 +1,14 @@
-//! Threaded stress tests for the decentralized (group-local) OM insert
-//! protocol: concurrent inserters + concurrent lock-free queriers, with
-//! forced group splits and forced group-label respreads, validated against
-//! a total-order oracle rebuilt from the final list.
+//! Threaded stress tests for both order-maintenance backends: concurrent
+//! inserters + concurrent lock-free queriers, validated against a
+//! total-order oracle rebuilt from the final list.
+//!
+//! The `OmList` cells force group splits and group-label respreads; the
+//! DePa cells exercise the fork-local label scheme (run tickets under
+//! contention, spill chains on deep labels) and additionally assert the
+//! structural guarantees `global_escalations == 0` and
+//! `query_retries == 0`. DePa cells run with smaller counts: repeated
+//! same-anchor runs grow labels linearly in the ticket, so the oracle
+//! workloads are quadratic in total label bits.
 //!
 //! Run in release mode (CI does): debug-mode atomics make the seqlock
 //! windows so long that the schedules stop resembling production.
@@ -10,13 +17,13 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use sfrd_om::{OmHandle, OmList};
+use sfrd_om::{OmBackend, OmHandle, OmOrder};
 
 /// Rank oracle: handle → position in the list's true total order, read
 /// out *after* all writers joined. `order()` answers must agree with rank
 /// comparison for every pair.
-fn rank_oracle(list: &OmList) -> BTreeMap<usize, usize> {
-    list.iter_order()
+fn rank_oracle(om: &OmOrder) -> BTreeMap<usize, usize> {
+    om.iter_order()
         .into_iter()
         .enumerate()
         .map(|(rank, h)| (h.index(), rank))
@@ -24,7 +31,7 @@ fn rank_oracle(list: &OmList) -> BTreeMap<usize, usize> {
 }
 
 fn assert_order_matches_oracle(
-    list: &OmList,
+    om: &OmOrder,
     handles: &[OmHandle],
     oracle: &BTreeMap<usize, usize>,
 ) {
@@ -36,7 +43,7 @@ fn assert_order_matches_oracle(
             let b = handles[j];
             let expect = oracle[&a.index()].cmp(&oracle[&b.index()]);
             assert_eq!(
-                list.order(a, b),
+                om.order(a, b),
                 expect,
                 "order({:?}, {:?}) disagrees with the rank oracle",
                 a,
@@ -50,33 +57,31 @@ fn assert_order_matches_oracle(
 /// threads verify a fixed chain; afterwards every thread's chain must be
 /// contiguous in rank space between its anchors and all pairwise orders
 /// must match the oracle.
-#[test]
-fn concurrent_inserters_match_rank_oracle() {
+fn concurrent_inserters(backend: OmBackend, per: usize) {
     const WRITERS: usize = 4;
     const READERS: usize = 2;
-    const PER: usize = 8_000;
 
-    let (list, base) = OmList::new();
-    let list = Arc::new(list);
+    let (om, base) = OmOrder::new(backend);
+    let om = Arc::new(om);
     // Anchors: base < a0 < a1 < a2 < a3, built serially.
     let mut anchors = Vec::with_capacity(WRITERS);
     let mut last = base;
     for _ in 0..WRITERS {
-        last = list.insert_after(last);
+        last = om.insert_after(last);
         anchors.push(last);
     }
 
     let stop = Arc::new(AtomicBool::new(false));
     let readers: Vec<_> = (0..READERS)
         .map(|_| {
-            let list = Arc::clone(&list);
+            let om = Arc::clone(&om);
             let stop = Arc::clone(&stop);
             let chain: Vec<OmHandle> = std::iter::once(base).chain(anchors.clone()).collect();
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     for w in chain.windows(2) {
-                        assert!(list.precedes(w[0], w[1]), "anchor order violated");
-                        assert!(!list.precedes(w[1], w[0]));
+                        assert!(om.precedes(w[0], w[1]), "anchor order violated");
+                        assert!(!om.precedes(w[1], w[0]));
                     }
                 }
             })
@@ -85,27 +90,27 @@ fn concurrent_inserters_match_rank_oracle() {
 
     let writers: Vec<_> = (0..WRITERS)
         .map(|w| {
-            let list = Arc::clone(&list);
+            let om = Arc::clone(&om);
             let anchor = anchors[w];
             std::thread::spawn(move || {
                 let mut chain = vec![anchor];
                 let mut cur = anchor;
-                for i in 0..PER {
+                for i in 0..per {
                     // Mix single inserts with combined runs, like
                     // SpOrder::fork does.
                     match i % 3 {
                         0 => {
-                            cur = list.insert_after(cur);
+                            cur = om.insert_after(cur);
                             chain.push(cur);
                         }
                         1 => {
-                            let [a, b] = list.insert_n_after::<2>(cur);
+                            let [a, b] = om.insert_n_after::<2>(cur);
                             chain.push(a);
                             chain.push(b);
                             cur = b;
                         }
                         _ => {
-                            let [a, b, c] = list.insert_n_after::<3>(cur);
+                            let [a, b, c] = om.insert_n_after::<3>(cur);
                             chain.push(a);
                             chain.push(b);
                             chain.push(c);
@@ -124,8 +129,8 @@ fn concurrent_inserters_match_rank_oracle() {
         r.join().unwrap();
     }
 
-    let oracle = rank_oracle(&list);
-    assert_eq!(oracle.len(), list.len(), "iter_order must cover every item");
+    let oracle = rank_oracle(&om);
+    assert_eq!(oracle.len(), om.len(), "iter_order must cover every item");
 
     // Each writer appended after its own tail, so its chain is contiguous
     // and strictly between its anchor and the next writer's anchor.
@@ -148,51 +153,70 @@ fn concurrent_inserters_match_rank_oracle() {
         .iter()
         .flat_map(|c| c.iter().step_by(97).copied())
         .collect();
-    assert_order_matches_oracle(&list, &sample, &oracle);
+    assert_order_matches_oracle(&om, &sample, &oracle);
 
-    let stats = list.stats();
-    assert!(stats.splits > 0, "32k inserts must split groups: {stats:?}");
-    assert!(
-        stats.fast_inserts > stats.global_escalations,
-        "fast path must dominate: {stats:?}"
-    );
-    assert!(
-        stats.group_locks >= stats.fast_inserts,
-        "every fast insert holds a group lock: {stats:?}"
-    );
+    let stats = om.stats();
+    match backend {
+        OmBackend::OmList => {
+            assert!(stats.splits > 0, "32k inserts must split groups: {stats:?}");
+            assert!(
+                stats.fast_inserts > stats.global_escalations,
+                "fast path must dominate: {stats:?}"
+            );
+            assert!(
+                stats.group_locks >= stats.fast_inserts,
+                "every fast insert holds a group lock: {stats:?}"
+            );
+        }
+        _ => {
+            assert_eq!(stats.global_escalations, 0, "{stats:?}");
+            assert_eq!(stats.query_retries, 0, "{stats:?}");
+            assert_eq!(stats.group_locks, 0, "{stats:?}");
+            assert!(stats.depa_max_depth > 64, "deep chains spill: {stats:?}");
+        }
+    }
 }
 
-/// All writers hammer the SAME position (right after the base element):
-/// maximal group-lock contention, geometric label-gap exhaustion, forced
-/// splits of the head group, and — because each head split halves the
-/// group-label gap — forced full respreads. Query threads must never
-/// observe the verification chain out of order.
 #[test]
-fn head_hammer_forces_splits_and_respreads_under_queries() {
+fn concurrent_inserters_match_rank_oracle() {
+    concurrent_inserters(OmBackend::OmList, 8_000);
+}
+
+#[test]
+fn depa_concurrent_inserters_match_rank_oracle() {
+    concurrent_inserters(OmBackend::DePa, 2_000);
+}
+
+/// All writers hammer the SAME position (right after the base element).
+/// OmList: maximal group-lock contention, geometric label-gap exhaustion,
+/// forced splits of the head group, and forced full respreads. DePa: the
+/// run-ticket counter is the only shared word — every concurrent run after
+/// the same parent must land in a distinct, totally ordered slot. Query
+/// threads must never observe the verification chain out of order.
+fn head_hammer(backend: OmBackend, per: usize) {
     const WRITERS: usize = 4;
     const READERS: usize = 2;
-    const PER: usize = 8_000;
 
-    let (list, base) = OmList::new();
-    let list = Arc::new(list);
+    let (om, base) = OmOrder::new(backend);
+    let om = Arc::new(om);
     let mut chain = vec![base];
     let mut last = base;
     for _ in 0..12 {
-        last = list.insert_after(last);
+        last = om.insert_after(last);
         chain.push(last);
     }
 
     let stop = Arc::new(AtomicBool::new(false));
     let readers: Vec<_> = (0..READERS)
         .map(|_| {
-            let list = Arc::clone(&list);
+            let om = Arc::clone(&om);
             let stop = Arc::clone(&stop);
             let chain = chain.clone();
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     for w in chain.windows(2) {
-                        assert!(list.precedes(w[0], w[1]));
-                        assert!(!list.precedes(w[1], w[0]));
+                        assert!(om.precedes(w[0], w[1]));
+                        assert!(!om.precedes(w[1], w[0]));
                     }
                 }
             })
@@ -201,117 +225,150 @@ fn head_hammer_forces_splits_and_respreads_under_queries() {
 
     let writers: Vec<_> = (0..WRITERS)
         .map(|_| {
-            let list = Arc::clone(&list);
+            let om = Arc::clone(&om);
             std::thread::spawn(move || {
-                for _ in 0..PER {
-                    list.insert_after(base);
+                let mut mine = Vec::with_capacity(per);
+                for _ in 0..per {
+                    mine.push(om.insert_after(base));
                 }
+                mine
             })
         })
         .collect();
-    for w in writers {
-        w.join().unwrap();
-    }
+    let per_writer: Vec<Vec<OmHandle>> = writers.into_iter().map(|t| t.join().unwrap()).collect();
     stop.store(true, Ordering::Relaxed);
     for r in readers {
         r.join().unwrap();
     }
 
-    assert_eq!(list.len(), 1 + 12 + WRITERS * PER);
-    let stats = list.stats();
-    assert!(stats.splits > 0, "head hammering must split: {stats:?}");
-    assert!(
-        stats.respreads > 0,
-        "repeated head splits must exhaust group-label gaps: {stats:?}"
-    );
-    // (item-level `relabels` may legitimately stay 0 here: splits respace
-    // the head group's labels every ~GROUP_MAX/2 inserts, well before 63
-    // geometric halvings can exhaust a fresh gap.)
+    assert_eq!(om.len(), 1 + 12 + WRITERS * per);
+    let stats = om.stats();
+    match backend {
+        OmBackend::OmList => {
+            assert!(stats.splits > 0, "head hammering must split: {stats:?}");
+            assert!(
+                stats.respreads > 0,
+                "repeated head splits must exhaust group-label gaps: {stats:?}"
+            );
+            // (item-level `relabels` may legitimately stay 0 here: splits
+            // respace the head group's labels every ~GROUP_MAX/2 inserts,
+            // well before 63 geometric halvings can exhaust a fresh gap.)
+        }
+        _ => {
+            assert_eq!(stats.global_escalations, 0, "{stats:?}");
+            assert_eq!(stats.query_retries, 0, "{stats:?}");
+            // A later same-anchor run (higher ticket) precedes every
+            // earlier one — verify per writer, whose handles are in
+            // ticket order.
+            for mine in &per_writer {
+                for w in mine.windows(2) {
+                    assert!(om.precedes(w[1], w[0]), "later run must nest before");
+                }
+            }
+        }
+    }
 
     // The verification chain survived every relabel/split/respread.
-    let oracle = rank_oracle(&list);
+    let oracle = rank_oracle(&om);
     let chain_ranks: Vec<usize> = chain.iter().map(|h| oracle[&h.index()]).collect();
     for pair in chain_ranks.windows(2) {
         assert!(pair[0] < pair[1]);
     }
 }
 
+#[test]
+fn head_hammer_forces_splits_and_respreads_under_queries() {
+    head_hammer(OmBackend::OmList, 8_000);
+}
+
+#[test]
+fn depa_head_hammer_run_tickets_stay_ordered() {
+    head_hammer(OmBackend::DePa, 500);
+}
+
 /// Writers insert at uniformly random positions of a shared (pre-built)
 /// backbone while queriers compare random backbone pairs; the final order
 /// must agree with the oracle and every query observed during the run is
-/// checked against the *immutable* backbone order.
+/// checked against the *immutable* backbone order. Runs on both backends.
 #[test]
 fn random_position_inserts_with_concurrent_queries() {
     const WRITERS: usize = 3;
     const PER: usize = 4_000;
 
-    let (list, base) = OmList::new();
-    let list = Arc::new(list);
-    let mut backbone = vec![base];
-    let mut last = base;
-    for _ in 0..256 {
-        last = list.insert_after(last);
-        backbone.push(last);
-    }
-    let backbone = Arc::new(backbone);
+    for backend in [OmBackend::OmList, OmBackend::DePa] {
+        let (om, base) = OmOrder::new(backend);
+        let om = Arc::new(om);
+        let mut backbone = vec![base];
+        let mut last = base;
+        for _ in 0..256 {
+            last = om.insert_after(last);
+            backbone.push(last);
+        }
+        let backbone = Arc::new(backbone);
 
-    let stop = Arc::new(AtomicBool::new(false));
-    let querier = {
-        let list = Arc::clone(&list);
-        let stop = Arc::clone(&stop);
-        let backbone = Arc::clone(&backbone);
-        std::thread::spawn(move || {
-            // Deterministic pseudo-random pair walk (no rand in dev-deps
-            // of the integration target needed).
-            let mut x = 0x9E3779B97F4A7C15u64;
-            while !stop.load(Ordering::Relaxed) {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                let i = (x as usize >> 8) % backbone.len();
-                let j = (x as usize >> 24) % backbone.len();
-                let expect = i.cmp(&j);
-                assert_eq!(
-                    list.order(backbone[i], backbone[j]),
-                    expect,
-                    "backbone order is immutable"
-                );
-            }
-        })
-    };
-
-    let writers: Vec<_> = (0..WRITERS)
-        .map(|w| {
-            let list = Arc::clone(&list);
+        let stop = Arc::new(AtomicBool::new(false));
+        let querier = {
+            let om = Arc::clone(&om);
+            let stop = Arc::clone(&stop);
             let backbone = Arc::clone(&backbone);
             std::thread::spawn(move || {
-                let mut x = 0xD1B54A32D192ED03u64.wrapping_mul(w as u64 + 1) | 1;
-                for _ in 0..PER {
+                // Deterministic pseudo-random pair walk (no rand in dev-deps
+                // of the integration target needed).
+                let mut x = 0x9E3779B97F4A7C15u64;
+                while !stop.load(Ordering::Relaxed) {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;
                     let i = (x as usize >> 8) % backbone.len();
-                    // Insert after a random backbone element; the new item
-                    // lands somewhere between backbone[i] and backbone[i+1].
-                    list.insert_after(backbone[i]);
+                    let j = (x as usize >> 24) % backbone.len();
+                    let expect = i.cmp(&j);
+                    assert_eq!(
+                        om.order(backbone[i], backbone[j]),
+                        expect,
+                        "backbone order is immutable"
+                    );
                 }
             })
-        })
-        .collect();
-    for w in writers {
-        w.join().unwrap();
-    }
-    stop.store(true, Ordering::Relaxed);
-    querier.join().unwrap();
+        };
 
-    let oracle = rank_oracle(&list);
-    // Backbone stays in order, and random inserts landed inside the right
-    // backbone gaps (checked implicitly: iter_order covers all items and
-    // backbone ranks are strictly increasing).
-    let ranks: Vec<usize> = backbone.iter().map(|h| oracle[&h.index()]).collect();
-    for pair in ranks.windows(2) {
-        assert!(pair[0] < pair[1]);
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let om = Arc::clone(&om);
+                let backbone = Arc::clone(&backbone);
+                std::thread::spawn(move || {
+                    let mut x = 0xD1B54A32D192ED03u64.wrapping_mul(w as u64 + 1) | 1;
+                    for _ in 0..PER {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let i = (x as usize >> 8) % backbone.len();
+                        // Insert after a random backbone element; the new item
+                        // lands somewhere between backbone[i] and backbone[i+1].
+                        om.insert_after(backbone[i]);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        querier.join().unwrap();
+
+        let oracle = rank_oracle(&om);
+        // Backbone stays in order, and random inserts landed inside the right
+        // backbone gaps (checked implicitly: iter_order covers all items and
+        // backbone ranks are strictly increasing).
+        let ranks: Vec<usize> = backbone.iter().map(|h| oracle[&h.index()]).collect();
+        for pair in ranks.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert_eq!(oracle.len(), 1 + 256 + WRITERS * PER);
+        assert_order_matches_oracle(&om, &backbone, &oracle);
+        if backend == OmBackend::DePa {
+            let stats = om.stats();
+            assert_eq!(stats.global_escalations, 0, "{stats:?}");
+            assert_eq!(stats.query_retries, 0, "{stats:?}");
+        }
     }
-    assert_eq!(oracle.len(), 1 + 256 + WRITERS * PER);
-    assert_order_matches_oracle(&list, &backbone, &oracle);
 }

@@ -35,6 +35,7 @@ use std::sync::Arc;
 use std::sync::OnceLock;
 
 use sfrd_dag::FutureId;
+use sfrd_om::OmBackend;
 
 use crate::arena::NodeArena;
 use crate::bitmap::{merge, with_future, FutureSet, SetRepr, SetStats};
@@ -109,9 +110,20 @@ impl SfReach {
         Self::with_config(repr, KernelKind::default())
     }
 
-    /// New engine with an explicit set family and chunk-kernel selection.
+    /// New engine with an explicit set family and chunk-kernel selection
+    /// (on the default order-maintenance backend).
     pub fn with_config(repr: SetRepr, kernels: KernelKind) -> (Self, SfStrand) {
-        let (sp, task) = SpOrder::new();
+        Self::with_config_om(repr, kernels, OmBackend::default())
+    }
+
+    /// New engine with explicit set family, chunk kernels, and
+    /// order-maintenance backend.
+    pub fn with_config_om(
+        repr: SetRepr,
+        kernels: KernelKind,
+        om_backend: OmBackend,
+    ) -> (Self, SfStrand) {
+        let (sp, task) = SpOrder::with_backend(om_backend);
         let empty = Arc::new(FutureSet::empty_in(repr));
         let engine = Self {
             sp,

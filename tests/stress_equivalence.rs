@@ -410,6 +410,114 @@ fn kernels_agree_on_racy_sets() {
     );
 }
 
+/// The order-maintenance backend must not change *what* is detected:
+/// SF-Order and F-Order on the fork-local DePa label backend report the
+/// same racy address set as the group-seqlock `OmList` baseline at every
+/// worker count, on a seeded corpus of random structured-future programs
+/// (MultiBags rides along as the OM-free sequential cross-check). DePa is
+/// lock-free by construction, so every DePa run must additionally report
+/// ZERO global escalations and ZERO query retries — structurally, not as
+/// a lucky schedule.
+#[test]
+fn om_backends_agree_on_racy_sets() {
+    use sfrd::core::OmBackend;
+    let mut rng = StdRng::seed_from_u64(0xDE9A);
+    let mut saw_a_race = false;
+    for round in 0..6 {
+        let prog = GenProgram::random(&mut rng, &gen_params());
+        let mut reference: Option<BTreeSet<u64>> = None;
+        for om in [OmBackend::OmList, OmBackend::DePa] {
+            let mut cfgs = Vec::new();
+            for kind in [DetectorKind::SfOrder, DetectorKind::FOrder] {
+                for workers in WORKERS {
+                    cfgs.push(
+                        DriveConfig::with(kind, Mode::Full, workers)
+                            .to_builder()
+                            .om_backend(om)
+                            .build(),
+                    );
+                }
+            }
+            cfgs.push(
+                DriveConfig::with(DetectorKind::MultiBags, Mode::Full, 1)
+                    .to_builder()
+                    .om_backend(om)
+                    .build(),
+            );
+            for cfg in cfgs {
+                let w = GenWorkload(prog.clone());
+                let rep = drive(&w, cfg).report.unwrap();
+                if om == OmBackend::DePa {
+                    assert_eq!(
+                        rep.metrics.om_global_escalations, 0,
+                        "round {round}: DePa escalated a global lock"
+                    );
+                    assert_eq!(
+                        rep.metrics.om_query_retries, 0,
+                        "round {round}: DePa retried a query"
+                    );
+                }
+                match &reference {
+                    None => reference = Some(rep.racy_addrs),
+                    Some(want) => assert_eq!(
+                        &rep.racy_addrs, want,
+                        "round {round} {om:?}: racy sets diverge\nprogram: {prog:?}"
+                    ),
+                }
+            }
+        }
+        saw_a_race |= !reference.unwrap().is_empty();
+    }
+    assert!(
+        saw_a_race,
+        "om-backend corpus never raced — tighten gen_params, the test is vacuous"
+    );
+}
+
+/// The DePa backend carries its labels end-to-end: on the paper's
+/// query-heavy benchmarks at 8 workers the label-word and spill metrics
+/// must surface through `RaceReport::metrics`, and the verdict must equal
+/// the OmList verdict on the same workload.
+#[test]
+fn depa_backend_verdicts_and_metrics_end_to_end() {
+    use sfrd::core::OmBackend;
+    for bench in ["hw", "sw"] {
+        let w = make_bench(bench, Scale::Small, 0xA11CE);
+        let mut racy: Option<BTreeSet<u64>> = None;
+        for om in [OmBackend::OmList, OmBackend::DePa] {
+            let rep = drive(
+                &w,
+                DriveConfig::with(DetectorKind::SfOrder, Mode::Full, 8)
+                    .to_builder()
+                    .om_backend(om)
+                    .build(),
+            )
+            .report
+            .unwrap();
+            if om == OmBackend::DePa {
+                assert_eq!(rep.metrics.om_global_escalations, 0, "{bench}");
+                assert_eq!(rep.metrics.om_query_retries, 0, "{bench}");
+                assert_eq!(rep.metrics.om_group_locks, 0, "{bench}");
+                assert!(
+                    rep.metrics.depa_label_words > 0,
+                    "{bench}: label census missing from report"
+                );
+                assert!(
+                    rep.metrics.depa_max_depth > 0,
+                    "{bench}: depth census missing from report"
+                );
+            }
+            match &racy {
+                None => racy = Some(rep.racy_addrs),
+                Some(want) => assert_eq!(
+                    &rep.racy_addrs, want,
+                    "{bench}: DePa verdict diverged from OmList"
+                ),
+            }
+        }
+    }
+}
+
 /// Counting parity end-to-end through `drive()`: the deterministic
 /// future-chain workload at 1 worker performs the same 512-bit kernel
 /// ops whichever kernel executes them — only the absorbing counter
